@@ -1,0 +1,82 @@
+package bidl
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// benchScale controls how hard the benchmark experiments push. 1.0 is the
+// paper-faithful configuration (full offered loads, full windows) and takes
+// tens of minutes for the whole suite; the default keeps `go test -bench=.`
+// to a few minutes. Override with BIDL_BENCH_SCALE=1.0.
+func benchScale() float64 {
+	if v := os.Getenv("BIDL_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 && f <= 1 {
+			return f
+		}
+	}
+	return 0.15
+}
+
+// benchExperiment runs one registered paper experiment per iteration and
+// renders its table into the benchmark output.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := BenchOptions{Scale: benchScale(), Seed: 1}
+	for i := 0; i < b.N; i++ {
+		table, err := RunExperiment(id, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n[scale=%.2f of paper load]\n", opts.Scale)
+			table.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig3Contention regenerates Figure 3: throughput/latency/aborts vs
+// contention ratio for BIDL, FastFabric, HLF.
+func BenchmarkFig3Contention(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig5ThroughputLatency regenerates Figure 5: throughput-vs-latency
+// curves for BIDL, FastFabric, StreamChain.
+func BenchmarkFig5ThroughputLatency(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6Scalability regenerates Figure 6: BIDL latency across four
+// BFT protocols as organizations scale 4..97.
+func BenchmarkFig6Scalability(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkTable2FFBreakdown regenerates Table 2: the FastFabric-SMaRt
+// latency breakdown.
+func BenchmarkTable2FFBreakdown(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3BIDLBreakdown regenerates Table 3: the BIDL-SMaRt latency
+// breakdown.
+func BenchmarkTable3BIDLBreakdown(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkTable4Malicious regenerates Table 4: effective throughput under
+// fault-free, malicious-leader, and malicious-broadcaster scenarios.
+func BenchmarkTable4Malicious(b *testing.B) { benchExperiment(b, "table4") }
+
+// BenchmarkFig7DenylistTimeline regenerates Figure 7: real-time throughput
+// under the smart adversary.
+func BenchmarkFig7DenylistTimeline(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8Workloads regenerates Figure 8: robustness to non-determinism
+// and contention.
+func BenchmarkFig8Workloads(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9MultiDC regenerates Figure 9: multi-datacenter bandwidth
+// sensitivity, BIDL vs BIDL-opt-disabled.
+func BenchmarkFig9MultiDC(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10PacketLoss regenerates Figure 10: throughput vs packet-loss
+// rate, BIDL vs FastFabric.
+func BenchmarkFig10PacketLoss(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkAblations measures BIDL's design-choice ablations (speculation,
+// multicast, consensus-on-hash).
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }

@@ -1,0 +1,77 @@
+// Command bidl-bench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	bidl-bench -list
+//	bidl-bench -run fig3                # one experiment, full scale
+//	bidl-bench -run all -scale 0.25     # quick pass over everything
+//	bidl-bench -run table4 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bidl-framework/bidl"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID to run (or \"all\")")
+		list  = flag.Bool("list", false, "list available experiments")
+		scale = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		csv   = flag.String("csv", "", "also write results as CSV to this file")
+		quiet = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range bidl.Experiments() {
+			fmt.Printf("  %-8s %-10s %s\n", e.ID, e.Paper, e.Description)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: bidl-bench -run <id>")
+		}
+		return
+	}
+
+	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = ids[:0]
+		for _, e := range bidl.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	var csvOut *os.File
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+
+	for _, id := range ids {
+		table, err := bidl.RunExperiment(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+		if csvOut != nil {
+			fmt.Fprintf(csvOut, "# %s\n", table.ID)
+			table.CSV(csvOut)
+		}
+	}
+}

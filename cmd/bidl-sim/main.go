@@ -1,0 +1,100 @@
+// Command bidl-sim runs a single configurable BIDL deployment and reports
+// headline metrics — a playground for exploring the design space.
+//
+// Examples:
+//
+//	bidl-sim                                    # paper setting A, 20k txns/s
+//	bidl-sim -orgs 25 -protocol hotstuff -rate 30000
+//	bidl-sim -contention 0.5 -duration 2s
+//	bidl-sim -attack broadcaster                # watch the denylist engage
+//	bidl-sim -dcs 4 -inter-gbps 1               # 4 datacenters, 1 Gbps pipes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/bidl-framework/bidl"
+)
+
+func main() {
+	var (
+		orgs       = flag.Int("orgs", 50, "number of organizations")
+		nnPerOrg   = flag.Int("nodes-per-org", 1, "normal nodes per organization")
+		consensus  = flag.Int("consensus", 4, "number of consensus nodes (3f+1)")
+		protocol   = flag.String("protocol", bidl.ProtoBFTSmart, "bft-smart|hotstuff|zyzzyva|sbft")
+		rate       = flag.Float64("rate", 20000, "offered load (txns/s)")
+		duration   = flag.Duration("duration", time.Second, "load window (virtual time)")
+		contention = flag.Float64("contention", 0, "contention ratio [0,1)")
+		nondet     = flag.Float64("nondet", 0, "non-deterministic txn ratio [0,1)")
+		loss       = flag.Float64("loss", 0, "packet loss rate [0,1)")
+		dcs        = flag.Int("dcs", 1, "number of datacenters")
+		interGbps  = flag.Float64("inter-gbps", 0, "shared inter-DC bandwidth (0 = unlimited)")
+		attackMode = flag.String("attack", "none", "none|leader|broadcaster|smart")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		timeline   = flag.Bool("timeline", false, "print a 100ms-bucket throughput timeline")
+	)
+	flag.Parse()
+
+	cfg := bidl.DefaultConfig()
+	cfg.NumOrgs = *orgs
+	cfg.NormalPerOrg = *nnPerOrg
+	cfg.NumConsensus = *consensus
+	cfg.F = (*consensus - 1) / 3
+	cfg.Protocol = *protocol
+	cfg.Seed = *seed
+	cfg.NumDCs = *dcs
+	cfg.Topology.LossRate = *loss
+	if *dcs > 1 {
+		cfg.Topology = bidl.MultiDCTopology(bidl.GbpsBandwidth(*interGbps))
+		cfg.Topology.LossRate = *loss
+		cfg.ViewTimeout = 400 * time.Millisecond
+		cfg.BlockTimeout = 25 * time.Millisecond
+	}
+
+	w := bidl.DefaultWorkload(*orgs)
+	w.ContentionRatio = *contention
+	w.NondetRatio = *nondet
+	w.Seed = *seed
+
+	sys := bidl.NewSystem(cfg, w)
+
+	switch *attackMode {
+	case "none":
+	case "leader":
+		bidl.EnableMaliciousLeader(sys.Cluster, sys.Cluster.LeaderIndex())
+	case "broadcaster", "smart":
+		bcfg := bidl.DefaultBroadcasterConfig()
+		if *attackMode == "smart" {
+			bcfg.TargetLeader = sys.Cluster.LeaderIndex()
+		}
+		b := bidl.NewBroadcaster(sys.Cluster, sys.Gen, bcfg)
+		b.Start(*duration / 5)
+	default:
+		fmt.Fprintf(os.Stderr, "bidl-sim: unknown attack %q\n", *attackMode)
+		os.Exit(2)
+	}
+
+	n := sys.SubmitRate(*rate, *duration)
+	sys.Run(*duration + 500*time.Millisecond)
+
+	fmt.Printf("submitted %d transactions over %v at %.0f txns/s\n", n, *duration, *rate)
+	fmt.Println(sys.Summary(*duration/5, *duration))
+	col := sys.Collector()
+	fmt.Printf("view_changes=%d conflicts=%d reexecuted=%d denied_clients=%d\n",
+		col.ViewChanges, col.Conflicts, col.Reexecuted, col.DeniedClients)
+	if err := sys.CheckSafety(); err != nil {
+		fmt.Fprintln(os.Stderr, "SAFETY VIOLATION:", err)
+		os.Exit(1)
+	}
+	fmt.Println("safety check: all correct nodes consistent")
+
+	if *timeline {
+		fmt.Println("\nthroughput timeline (100ms buckets):")
+		for i, v := range col.Timeline(100*time.Millisecond, *duration+500*time.Millisecond) {
+			fmt.Printf("  %5.1fs %8.0f txns/s\n", float64(i)*0.1, v)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Supply chain: the paper cites supply chains as workloads with over 40%
+// contending transactions (§1). Hot items (popular SKUs) make transfers
+// collide; execute-order-validate frameworks abort those in MVCC validation
+// while BIDL's sequence-ordered speculation commits them all (§6.3).
+//
+// This example runs the same contended workload on BIDL and on FastFabric
+// and compares abort rates.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/bidl-framework/bidl"
+)
+
+const (
+	rate       = 15000
+	window     = time.Second
+	contention = 0.5 // half of all transfers touch the 1% hot accounts
+)
+
+func main() {
+	fmt.Printf("Supply-chain workload: %.0f%% of transfers touch hot items\n\n", contention*100)
+
+	// BIDL.
+	cfg := bidl.DefaultConfig()
+	cfg.NumOrgs = 20
+	w := bidl.DefaultWorkload(cfg.NumOrgs)
+	w.ContentionRatio = contention
+	sys := bidl.NewSystem(cfg, w)
+	sys.SubmitRate(rate, window)
+	sys.Run(window + 500*time.Millisecond)
+	b := sys.Summary(200*time.Millisecond, window)
+	if err := sys.CheckSafety(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  BIDL:       throughput=%.0f txns/s abort_rate=%.1f%% (sequence-ordered execution)\n",
+		b.Throughput, b.AbortRate*100)
+
+	// FastFabric on the identical workload.
+	fcfg := bidl.DefaultBaselineConfig(bidl.FastFabric)
+	fcfg.NumOrgs = 20
+	fw := bidl.DefaultWorkload(fcfg.NumOrgs)
+	fw.ContentionRatio = contention
+	fsys := bidl.NewBaselineSystem(fcfg, fw)
+	fsys.SubmitRate(rate, window)
+	fsys.Run(window + 500*time.Millisecond)
+	f := fsys.Summary(200*time.Millisecond, window)
+	if err := fsys.CheckSafety(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  FastFabric: throughput=%.0f txns/s abort_rate=%.1f%% (MVCC aborts: %d)\n",
+		f.Throughput, f.AbortRate*100, fsys.Collector().MVCCAborts)
+
+	fmt.Println("\nBIDL eliminates contention aborts by executing contending transactions")
+	fmt.Println("in sequence-number order (§4.3); FastFabric endorses them in parallel")
+	fmt.Println("against the same snapshot and aborts the losers in validation.")
+}

@@ -1,0 +1,3 @@
+module github.com/bidl-framework/bidl
+
+go 1.22

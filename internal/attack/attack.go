@@ -1,0 +1,177 @@
+// Package attack implements the adversaries of the paper's robustness
+// evaluation (§6.2):
+//
+//   - MaliciousLeader (Table 4 S2): the leader's sequencer emits invalid
+//     transactions instead of the real client traffic. Enabled via the
+//     sequencer's Garbage flag.
+//   - Broadcaster (Table 4 S3): a non-member node in the datacenter that
+//     listens to the sequencer multicast and races it, broadcasting
+//     transactions signed by colluding malicious clients under sequence
+//     numbers just ahead of the observed frontier. Nodes that receive the
+//     crafted copy first speculate on it; the agreed proposal then
+//     mismatches, forcing re-execution (§4.6).
+//   - SmartAdversary (Fig 7): a Broadcaster that attacks only while a
+//     chosen consensus node leads, trying to escape the denylist's
+//     f+1-distinct-leaders rule; BIDL's proactive view change and
+//     unpredictable rotation defeat it.
+package attack
+
+import (
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/core"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// BroadcasterConfig tunes the crafted-transaction broadcaster.
+type BroadcasterConfig struct {
+	// MaliciousClients are the colluding clients (indices into the
+	// workload generator's client space) whose signed transactions the
+	// adversary re-broadcasts. A permissioned blockchain bounds this set
+	// (§4.6), which is why the denylist eventually wins.
+	MaliciousClients []int
+	// Window is how many sequence numbers ahead of the observed frontier
+	// each burst contests.
+	Window int
+	// Interval is the burst period.
+	Interval time.Duration
+	// TargetLeader, when >= 0, restricts attacking to views led by that
+	// consensus node (the Fig 7 smart adversary). -1 attacks always.
+	TargetLeader int
+	// DetectLag models how long the adversary needs to notice a
+	// leadership change; during the lag it keeps attacking, which is
+	// exactly how conflicts leak into successor views (§4.6).
+	DetectLag time.Duration
+}
+
+// DefaultBroadcasterConfig returns an aggressive always-on broadcaster
+// using one malicious client.
+func DefaultBroadcasterConfig() BroadcasterConfig {
+	return BroadcasterConfig{
+		MaliciousClients: []int{0},
+		Window:           64,
+		Interval:         time.Millisecond,
+		TargetLeader:     -1,
+		DetectLag:        5 * time.Millisecond,
+	}
+}
+
+// Broadcaster is the malicious broadcaster endpoint.
+type Broadcaster struct {
+	c   *core.Cluster
+	gen *workload.Generator
+	cfg BroadcasterConfig
+	ep  *simnet.Endpoint
+
+	running        bool
+	frontier       uint64
+	contested      uint64 // highest seq we already attacked
+	observedLeader int
+	leaderSince    time.Duration
+
+	// Bursts counts attack bursts actually emitted.
+	Bursts uint64
+}
+
+// NewBroadcaster attaches a broadcaster to the cluster. It observes the
+// transaction multicast group like any node in the datacenter.
+func NewBroadcaster(c *core.Cluster, gen *workload.Generator, cfg BroadcasterConfig) *Broadcaster {
+	b := &Broadcaster{c: c, gen: gen, cfg: cfg, observedLeader: -1}
+	b.ep = c.AttachAdversary("adversary", 0, b)
+	return b
+}
+
+// MaliciousIdentities returns the colluding clients' identities.
+func (b *Broadcaster) MaliciousIdentities() []crypto.Identity {
+	out := make([]crypto.Identity, 0, len(b.cfg.MaliciousClients))
+	for _, i := range b.cfg.MaliciousClients {
+		out = append(out, b.gen.Client(i))
+	}
+	return out
+}
+
+// Start arms the attack at virtual time at.
+func (b *Broadcaster) Start(at time.Duration) {
+	b.c.Sim.At(at, func() {
+		if b.running {
+			return
+		}
+		b.running = true
+		b.tick()
+	})
+}
+
+// Stop disarms the attack at virtual time at.
+func (b *Broadcaster) Stop(at time.Duration) {
+	b.c.Sim.At(at, func() { b.running = false })
+}
+
+// OnMessage implements simnet.Handler: the adversary passively tracks the
+// sequencer frontier from the multicast it receives.
+func (b *Broadcaster) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	if m, ok := msg.(*core.SeqBatch); ok {
+		for _, st := range m.Txns {
+			if st.Seq > b.frontier {
+				b.frontier = st.Seq
+			}
+		}
+	}
+}
+
+// active reports whether the adversary currently attacks, modeling lagged
+// leadership detection.
+func (b *Broadcaster) active() bool {
+	if b.cfg.TargetLeader < 0 {
+		return true
+	}
+	actual := b.c.LeaderIndex()
+	if actual != b.observedLeader {
+		// Notice the change only after DetectLag.
+		if b.leaderSince == 0 {
+			b.leaderSince = b.c.Sim.Now()
+		}
+		if b.c.Sim.Now()-b.leaderSince >= b.cfg.DetectLag {
+			b.observedLeader = actual
+			b.leaderSince = 0
+		}
+	} else {
+		b.leaderSince = 0
+	}
+	return b.observedLeader == b.cfg.TargetLeader
+}
+
+// tick emits one burst of crafted transactions ahead of the frontier.
+func (b *Broadcaster) tick() {
+	if !b.running {
+		return
+	}
+	if b.active() && b.frontier > 0 {
+		start := b.frontier + 1
+		if b.contested >= start {
+			start = b.contested + 1
+		}
+		end := b.frontier + uint64(b.cfg.Window)
+		if end >= start {
+			var crafted []types.SequencedTx
+			for s := start; s <= end; s++ {
+				ci := b.cfg.MaliciousClients[int(s)%len(b.cfg.MaliciousClients)]
+				crafted = append(crafted, types.SequencedTx{Seq: s, Tx: b.gen.NextFrom(ci)})
+			}
+			b.contested = end
+			b.Bursts++
+			ctx := simnet.NewInjectedContext(b.c.Net, b.ep)
+			ctx.Multicast(b.c.TxnGroup(), &core.SeqBatch{Txns: crafted})
+		}
+	}
+	b.c.Sim.After(b.cfg.Interval, b.tick)
+}
+
+// EnableMaliciousLeader flips consensus node idx's sequencer into garbage
+// mode (Table 4 S2): when that node leads, every sequenced transaction is
+// replaced by an invalid one.
+func EnableMaliciousLeader(c *core.Cluster, idx int) {
+	c.Sequencers[idx].Garbage = true
+}

@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"sort"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// pendingTx tracks one client transaction through the endorsement round.
+type pendingTx struct {
+	tx        *types.Transaction
+	resps     map[string]*EndorseResp
+	submitted bool
+	start     time.Duration
+}
+
+// Client drives the execute→order→validate workflow: it requests
+// endorsements from one peer per related organization, assembles the
+// envelope, submits it to the ordering service, and waits for the commit
+// notification (client-perceived latency, §6).
+type Client struct {
+	c  *Cluster
+	id crypto.Identity
+	ep *simnet.Endpoint
+
+	pending map[types.TxID]*pendingTx
+}
+
+func newClient(c *Cluster, id crypto.Identity) *Client {
+	return &Client{c: c, id: id, pending: make(map[types.TxID]*pendingTx)}
+}
+
+// Endpoint returns the client's simnet endpoint.
+func (cl *Client) Endpoint() *simnet.Endpoint { return cl.ep }
+
+// Pending returns how many transactions are in flight.
+func (cl *Client) Pending() int { return len(cl.pending) }
+
+// OnMessage implements simnet.Handler.
+func (cl *Client) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *EndorseResp:
+		cl.onEndorse(ctx, m)
+	case *CommitNote:
+		for _, e := range m.Entries {
+			if _, ok := cl.pending[e.TxID]; !ok {
+				continue
+			}
+			delete(cl.pending, e.TxID)
+			cl.c.Collector.Committed(e.TxID, ctx.Now(), e.Aborted)
+		}
+	}
+}
+
+// submit starts the endorsement round for a batch of transactions.
+func (cl *Client) submit(ctx *simnet.Context, txns []*types.Transaction) {
+	for _, tx := range txns {
+		id := tx.ID()
+		if _, ok := cl.pending[id]; ok {
+			continue
+		}
+		cl.pending[id] = &pendingTx{tx: tx, resps: make(map[string]*EndorseResp), start: ctx.Now()}
+		cl.c.Collector.Submitted(id, ctx.Now())
+		for _, org := range tx.Orgs {
+			o := orgIdx(org)
+			if o < 0 || o >= len(cl.c.Peers) || len(cl.c.Peers[o]) == 0 {
+				continue
+			}
+			// Endorse at the organization's lead peer.
+			ctx.Send(cl.c.Peers[o][0].ep.ID(), &EndorseReq{Tx: tx})
+		}
+	}
+}
+
+func orgIdx(name string) int {
+	if len(name) < 4 || name[:3] != "org" {
+		return -1
+	}
+	v := 0
+	for _, ch := range name[3:] {
+		if ch < '0' || ch > '9' {
+			return -1
+		}
+		v = v*10 + int(ch-'0')
+	}
+	return v
+}
+
+// onEndorse collects endorsements; once every related org responded, the
+// envelope is assembled and submitted for ordering.
+func (cl *Client) onEndorse(ctx *simnet.Context, m *EndorseResp) {
+	pt, ok := cl.pending[m.TxID]
+	if !ok || pt.submitted {
+		return
+	}
+	if m.Err {
+		// Endorsement failure: the transaction cannot proceed.
+		pt.submitted = true
+		delete(cl.pending, m.TxID)
+		cl.c.Collector.Committed(m.TxID, ctx.Now(), true)
+		return
+	}
+	pt.resps[m.Endorsement.Org] = m
+	if len(pt.resps) < len(pt.tx.Orgs) {
+		return
+	}
+	// All endorsements in: check result agreement. Non-deterministic
+	// transactions produce mismatching endorsements and are early-aborted
+	// (FastFabric behaviour, §6.3) — they never reach ordering.
+	orgs := make([]string, 0, len(pt.resps))
+	for o := range pt.resps {
+		orgs = append(orgs, o)
+	}
+	sort.Strings(orgs)
+	first := pt.resps[orgs[0]]
+	for _, o := range orgs[1:] {
+		if pt.resps[o].Endorsement.Digest != first.Endorsement.Digest {
+			pt.submitted = true
+			delete(cl.pending, m.TxID)
+			cl.c.Collector.NondetAborts++
+			cl.c.Collector.Committed(m.TxID, ctx.Now(), true)
+			return
+		}
+	}
+	env := &Envelope{
+		Tx:      pt.tx,
+		Reads:   first.Reads,
+		Writes:  first.Writes,
+		Aborted: first.Aborted,
+	}
+	for _, o := range orgs {
+		env.Endorsements = append(env.Endorsements, pt.resps[o].Endorsement)
+	}
+	pt.submitted = true
+	cl.c.Collector.Phase("endorse", ctx.Now()-pt.start)
+	ctx.Send(cl.c.Orderers[cl.c.LeaderIndex()].ep.ID(), &SubmitEnvelopes{Envs: []*Envelope{env}})
+}

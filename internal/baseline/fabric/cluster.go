@@ -1,0 +1,222 @@
+package fabric
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/consensus/pbft"
+	"github.com/bidl-framework/bidl/internal/consensus/raft"
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+func ordererIdentity(i int) crypto.Identity {
+	return crypto.Identity("orderer" + strconv.Itoa(i))
+}
+
+func orgName(o int) string { return "org" + strconv.Itoa(o) }
+
+// Cluster is a complete simulated baseline deployment (HLF, FastFabric, or
+// StreamChain depending on Config.Variant).
+type Cluster struct {
+	Cfg       Config
+	Sim       *simnet.Sim
+	Net       *simnet.Network
+	Scheme    crypto.Scheme
+	Registry  *contract.Registry
+	Collector *metrics.Collector
+
+	Orderers []*Orderer
+	Peers    [][]*Peer
+	Clients  map[crypto.Identity]*Client
+
+	ordIndex  map[simnet.NodeID]int
+	clientEps map[crypto.Identity]simnet.NodeID
+	policy    consensus.LeaderPolicy
+
+	violations []string
+}
+
+// NewCluster builds a baseline deployment.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.NumOrderers == 0 {
+		cfg.NumOrderers = 3*cfg.F + 1
+	}
+	sim := simnet.NewSim(cfg.Seed)
+	net := simnet.NewNetwork(sim, cfg.Topology)
+	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("fabric-%d", cfg.Seed)))
+	reg := contract.NewRegistry()
+	reg.Deploy(contract.SmallBank{})
+
+	c := &Cluster{
+		Cfg:       cfg,
+		Sim:       sim,
+		Net:       net,
+		Scheme:    scheme,
+		Registry:  reg,
+		Collector: metrics.NewCollector(),
+		Clients:   make(map[crypto.Identity]*Client),
+		ordIndex:  make(map[simnet.NodeID]int),
+		clientEps: make(map[crypto.Identity]simnet.NodeID),
+		policy:    consensus.RoundRobin{N: cfg.NumOrderers},
+	}
+
+	dc := func(i int) int {
+		if cfg.NumDCs <= 1 {
+			return 0
+		}
+		return i % cfg.NumDCs
+	}
+
+	consCfg := consensus.Config{
+		N: cfg.NumOrderers, F: cfg.F,
+		Policy:           c.policy,
+		ViewTimeout:      cfg.ViewTimeout,
+		SigVerify:        cfg.Costs.SigVerify,
+		SigSign:          cfg.Costs.SigSign,
+		MACVerify:        cfg.Costs.MACVerify,
+		MACCompute:       cfg.Costs.MACCompute,
+		ThresholdSign:    cfg.Costs.ThresholdSign,
+		ThresholdCombine: cfg.Costs.ThresholdCombine,
+	}
+
+	node := 0
+	for i := 0; i < cfg.NumOrderers; i++ {
+		ord := newOrderer(c, i)
+		ord.ep = net.Register(fmt.Sprintf("orderer%d", i), dc(node), ord)
+		node++
+		c.ordIndex[ord.ep.ID()] = i
+		scheme.Register(ordererIdentity(i))
+		rcfg := consCfg
+		rcfg.Self = i
+		if cfg.Protocol == "raft" {
+			ord.replica = raft.New(rcfg, ord)
+		} else {
+			ord.replica = pbft.New(rcfg, ord)
+		}
+		c.Orderers = append(c.Orderers, ord)
+	}
+
+	for o := 0; o < cfg.NumOrgs; o++ {
+		scheme.Register(crypto.Identity(orgName(o)))
+		var peers []*Peer
+		for j := 0; j < cfg.PeersPerOrg; j++ {
+			p := newPeer(c, o, j, cfg.Seed*7_000_003+int64(o*64+j))
+			p.ep = net.Register(fmt.Sprintf("%s-peer%d", orgName(o), j), dc(node), p)
+			node++
+			peers = append(peers, p)
+		}
+		c.Peers = append(c.Peers, peers)
+	}
+	return c
+}
+
+// policyLeader resolves which orderer disseminates a block: the view leader
+// for BFT certificates, the current leader under CFT (Raft).
+func (c *Cluster) policyLeader(cert *types.Certificate, r consensus.Replica) int {
+	if cert == nil {
+		return r.Leader()
+	}
+	return c.policy.Leader(cert.View)
+}
+
+// RegisterClients creates client endpoints for the given identities.
+func (c *Cluster) RegisterClients(ids []crypto.Identity) {
+	for _, id := range ids {
+		if _, ok := c.Clients[id]; ok {
+			continue
+		}
+		cl := newClient(c, id)
+		cl.ep = c.Net.Register("client-"+string(id), 0, cl)
+		c.Clients[id] = cl
+		c.clientEps[id] = cl.ep.ID()
+	}
+}
+
+// Prepopulate applies fn to every peer's committed state.
+func (c *Cluster) Prepopulate(fn func(*ledger.State)) {
+	for _, org := range c.Peers {
+		for _, p := range org {
+			fn(p.state)
+		}
+	}
+}
+
+// SubmitAt schedules transactions for submission by their clients at time at.
+func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
+	byClient := make(map[crypto.Identity][]*types.Transaction)
+	var order []crypto.Identity
+	for _, tx := range txns {
+		if _, ok := byClient[tx.Client]; !ok {
+			order = append(order, tx.Client)
+		}
+		byClient[tx.Client] = append(byClient[tx.Client], tx)
+	}
+	c.Sim.At(at, func() {
+		for _, id := range order {
+			cl, ok := c.Clients[id]
+			if !ok {
+				continue
+			}
+			ctx := simnet.NewInjectedContext(c.Net, cl.ep)
+			cl.submit(ctx, byClient[id])
+		}
+	})
+}
+
+// Run advances the simulation to absolute virtual time t.
+func (c *Cluster) Run(t time.Duration) { c.Sim.RunUntil(t) }
+
+// LeaderIndex returns the current ordering-service leader.
+func (c *Cluster) LeaderIndex() int {
+	var hi uint64
+	leader := 0
+	for _, ord := range c.Orderers {
+		if v := ord.replica.View(); v >= hi {
+			hi = v
+			leader = ord.replica.Leader()
+		}
+	}
+	return leader
+}
+
+func (c *Cluster) safetyViolation(msg string) {
+	c.violations = append(c.violations, msg)
+}
+
+// CheckSafety validates that all peers hold prefix-consistent ledgers and
+// that peers at equal heights hold identical world states (full
+// replication).
+func (c *Cluster) CheckSafety() error {
+	if len(c.violations) > 0 {
+		return fmt.Errorf("fabric: %d runtime safety violations, first: %s", len(c.violations), c.violations[0])
+	}
+	// Compare each peer against one reference per commit height; digests
+	// are computed once per peer (they are O(state size)).
+	var ref *Peer
+	refDigest := map[uint64]crypto.Digest{}
+	for _, org := range c.Peers {
+		for _, p := range org {
+			if ref == nil {
+				ref = p
+			} else if !ref.blocks.CommonPrefixEqual(p.blocks) {
+				return fmt.Errorf("fabric: peer ledgers diverge (%s vs %s)", ref.orgName, p.orgName)
+			}
+			d := p.state.Digest()
+			if prev, ok := refDigest[p.commitHeight]; ok {
+				if prev != d {
+					return fmt.Errorf("fabric: peer states diverge at height %d", p.commitHeight)
+				}
+			} else {
+				refDigest[p.commitHeight] = d
+			}
+		}
+	}
+	return nil
+}

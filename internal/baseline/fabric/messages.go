@@ -1,0 +1,145 @@
+package fabric
+
+import (
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// EndorseReq asks a peer to simulate a transaction.
+type EndorseReq struct {
+	Tx *types.Transaction
+}
+
+// Size implements simnet.Message.
+func (m *EndorseReq) Size() int { return 16 + m.Tx.Size() }
+
+// Endorsement is one organization's signed simulation result.
+type Endorsement struct {
+	Org    string
+	Digest crypto.Digest
+	Sig    crypto.Signature
+}
+
+func endorsementBytes(id types.TxID, org string, digest crypto.Digest) []byte {
+	buf := make([]byte, 0, 80)
+	buf = append(buf, id[:]...)
+	buf = append(buf, org...)
+	return append(buf, digest[:]...)
+}
+
+// EndorseResp returns the endorsement and (from the first org) the
+// read-write set the client assembles into the envelope.
+type EndorseResp struct {
+	TxID        types.TxID
+	Endorsement Endorsement
+	Reads       []ledger.Read
+	Writes      []ledger.Write
+	Aborted     bool
+	// Err marks an endorsement failure (invalid transaction).
+	Err bool
+}
+
+// Size implements simnet.Message.
+func (m *EndorseResp) Size() int {
+	n := 16 + 32 + 16 + 32 + 64
+	for _, r := range m.Reads {
+		n += len(r.Key) + 17
+	}
+	for _, w := range m.Writes {
+		n += len(w.Key) + len(w.Val) + 2
+	}
+	return n
+}
+
+// Envelope is the client-assembled transaction proposal submitted to the
+// ordering service: the transaction, its read-write set, and one
+// endorsement per related organization.
+type Envelope struct {
+	Tx           *types.Transaction
+	Reads        []ledger.Read
+	Writes       []ledger.Write
+	Aborted      bool
+	Endorsements []Endorsement
+}
+
+// Size implements simnet.Message.
+func (m *Envelope) Size() int {
+	n := m.Tx.Size() + len(m.Endorsements)*(16+32+64)
+	for _, r := range m.Reads {
+		n += len(r.Key) + 17
+	}
+	for _, w := range m.Writes {
+		n += len(w.Key) + len(w.Val) + 2
+	}
+	return n
+}
+
+// rwDigest hashes an endorsement result canonically.
+func rwDigest(reads []ledger.Read, writes []ledger.Write, aborted bool) crypto.Digest {
+	rw := ledger.RWSet{Reads: reads, Writes: writes, Aborted: aborted}
+	return rw.Digest()
+}
+
+// SubmitEnvelopes carries client envelopes to the ordering service.
+type SubmitEnvelopes struct {
+	Envs []*Envelope
+}
+
+// Size implements simnet.Message.
+func (m *SubmitEnvelopes) Size() int {
+	n := 16
+	for _, e := range m.Envs {
+		n += e.Size()
+	}
+	return n
+}
+
+// PayloadShare is the HLF ordering leader's dissemination of full envelope
+// payloads to the other consensus nodes (so they can verify proposals —
+// the property FastFabric gives up, Table 4).
+type PayloadShare struct {
+	Envs []*Envelope
+}
+
+// Size implements simnet.Message.
+func (m *PayloadShare) Size() int {
+	n := 16
+	for _, e := range m.Envs {
+		n += e.Size()
+	}
+	return n
+}
+
+// FabricBlock is an ordered block delivered to peers for validation.
+type FabricBlock struct {
+	Number uint64
+	Envs   []*Envelope
+	Cert   *types.Certificate
+}
+
+// Size implements simnet.Message.
+func (m *FabricBlock) Size() int {
+	n := 24
+	for _, e := range m.Envs {
+		n += e.Size()
+	}
+	if m.Cert != nil {
+		n += m.Cert.Size()
+	}
+	return n
+}
+
+// CommitNote notifies a client of transaction outcomes.
+type CommitNote struct {
+	Entries []CommitEntry
+}
+
+// CommitEntry is one transaction's outcome.
+type CommitEntry struct {
+	TxID    types.TxID
+	Aborted bool
+}
+
+// Size implements simnet.Message.
+func (m *CommitNote) Size() int { return 16 + len(m.Entries)*33 }

@@ -1,0 +1,304 @@
+package fabric
+
+import (
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Orderer is one ordering-service node hosting a consensus replica. The
+// leader batches client envelopes into blocks; under consensus-on-hash (§6,
+// enabled for all frameworks) agreement runs over envelope hashes while
+// payloads travel separately:
+//
+//   - HLF: the leader disseminates payloads to all consensus nodes
+//     (PayloadShare), so any of them can verify proposals (Table 4 S2).
+//   - FastFabric: a single trusted orderer keeps payloads to itself and
+//     sends only hashes through Raft.
+type Orderer struct {
+	c   *Cluster
+	idx int
+	ep  *simnet.Endpoint
+	ctx *simnet.Context
+
+	replica consensus.Replica
+
+	pendingEnvs []*Envelope
+	byHash      map[types.TxID]*Envelope
+	batchArmed  bool
+
+	delivered   map[uint64]*FabricBlock
+	chainHeight uint64
+	proposeTime map[crypto.Digest]time.Duration
+
+	// ProposeGarbage makes a malicious leader propose invalid envelopes
+	// (Table 4 S2).
+	ProposeGarbage bool
+	vcOnce         bool
+}
+
+// Endpoint returns the orderer's simnet endpoint.
+func (o *Orderer) Endpoint() *simnet.Endpoint { return o.ep }
+
+// Replica exposes the hosted consensus replica.
+func (o *Orderer) Replica() consensus.Replica { return o.replica }
+
+func newOrderer(c *Cluster, idx int) *Orderer {
+	return &Orderer{
+		c:           c,
+		idx:         idx,
+		byHash:      make(map[types.TxID]*Envelope),
+		delivered:   make(map[uint64]*FabricBlock),
+		proposeTime: make(map[crypto.Digest]time.Duration),
+	}
+}
+
+func (o *Orderer) bind(ctx *simnet.Context, fn func()) {
+	prev := o.ctx
+	o.ctx = ctx
+	defer func() { o.ctx = prev }()
+	fn()
+}
+
+// OnStart implements simnet.Starter.
+func (o *Orderer) OnStart(ctx *simnet.Context) {
+	o.bind(ctx, func() { o.replica.Start() })
+}
+
+// OnMessage implements simnet.Handler.
+func (o *Orderer) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	o.bind(ctx, func() {
+		switch m := msg.(type) {
+		case *SubmitEnvelopes:
+			o.onSubmit(m)
+		case *PayloadShare:
+			for _, env := range m.Envs {
+				o.byHash[env.Tx.ID()] = env
+			}
+		case consensus.Msg:
+			if idx, ok := o.c.ordIndex[from]; ok {
+				o.replica.Step(idx, m)
+			}
+		}
+	})
+}
+
+func (o *Orderer) onSubmit(m *SubmitEnvelopes) {
+	if !o.replica.IsLeader() {
+		// Forward to the leader.
+		o.ctx.Send(o.c.Orderers[o.leaderIdx()].ep.ID(), m)
+		return
+	}
+	for _, env := range m.Envs {
+		o.ctx.Elapse(o.c.Cfg.Costs.MACVerify)
+		id := env.Tx.ID()
+		if _, ok := o.byHash[id]; ok {
+			continue
+		}
+		if o.ProposeGarbage {
+			env = o.garbageEnvelope(env)
+			id = env.Tx.ID()
+		}
+		o.byHash[id] = env
+		o.pendingEnvs = append(o.pendingEnvs, env)
+	}
+	o.maybeBatch()
+}
+
+func (o *Orderer) leaderIdx() int {
+	var hi uint64
+	leader := 0
+	for _, ord := range o.c.Orderers {
+		if v := ord.replica.View(); v >= hi {
+			hi = v
+			leader = ord.replica.Leader()
+		}
+	}
+	return leader
+}
+
+func (o *Orderer) maybeBatch() {
+	for len(o.pendingEnvs) >= o.c.Cfg.BlockSize {
+		batch := o.pendingEnvs[:o.c.Cfg.BlockSize]
+		o.pendingEnvs = o.pendingEnvs[o.c.Cfg.BlockSize:]
+		o.proposeBatch(batch)
+	}
+	if len(o.pendingEnvs) > 0 && !o.batchArmed {
+		o.batchArmed = true
+		o.ctx.After(o.c.Cfg.BlockTimeout, func(c2 *simnet.Context) {
+			o.bind(c2, func() {
+				o.batchArmed = false
+				if o.replica.IsLeader() && len(o.pendingEnvs) > 0 {
+					batch := o.pendingEnvs
+					if len(batch) > o.c.Cfg.BlockSize {
+						batch = batch[:o.c.Cfg.BlockSize]
+					}
+					o.pendingEnvs = o.pendingEnvs[len(batch):]
+					o.proposeBatch(batch)
+				}
+				o.maybeBatch()
+			})
+		})
+	}
+}
+
+func (o *Orderer) proposeBatch(envs []*Envelope) {
+	hashes := make([]types.TxID, len(envs))
+	seqs := make([]uint64, len(envs))
+	total := 0
+	for i, env := range envs {
+		hashes[i] = env.Tx.ID()
+		total += env.Size()
+	}
+	// HLF: disseminate payloads to the other consensus nodes so they can
+	// verify the proposal contents.
+	if o.c.Cfg.Variant == HLF {
+		share := &PayloadShare{Envs: envs}
+		for i, ord := range o.c.Orderers {
+			if i == o.idx {
+				continue
+			}
+			o.ctx.Send(ord.ep.ID(), share)
+		}
+	}
+	ordering := types.EncodeOrdering(seqs, hashes)
+	o.ctx.Elapse(o.c.Cfg.Costs.Hash(total) + o.c.Cfg.Costs.BlockOverhead)
+	v := consensus.Value{Digest: types.OrderingDigest(ordering), Data: ordering}
+	o.proposeTime[v.Digest] = o.ctx.Now()
+	o.replica.Propose(v)
+}
+
+// --- consensus.Host ---------------------------------------------------------
+
+// Send implements consensus.Host.
+func (o *Orderer) Send(to int, m consensus.Msg) {
+	if to == o.idx {
+		o.replica.Step(o.idx, m)
+		return
+	}
+	o.ctx.Send(o.c.Orderers[to].ep.ID(), m)
+}
+
+// BroadcastCN implements consensus.Host.
+func (o *Orderer) BroadcastCN(m consensus.Msg) {
+	for i, ord := range o.c.Orderers {
+		if i != o.idx {
+			o.ctx.Send(ord.ep.ID(), m)
+		}
+	}
+}
+
+// After implements consensus.Host.
+func (o *Orderer) After(d time.Duration, fn func()) {
+	o.ctx.After(d, func(c2 *simnet.Context) { o.bind(c2, fn) })
+}
+
+// Elapse implements consensus.Host.
+func (o *Orderer) Elapse(d time.Duration) { o.ctx.Elapse(d) }
+
+// Sign implements consensus.Host.
+func (o *Orderer) Sign(data []byte) crypto.Signature {
+	sig, err := o.c.Scheme.Sign(ordererIdentity(o.idx), data)
+	if err != nil {
+		panic(err)
+	}
+	return sig
+}
+
+// VerifyNode implements consensus.Host.
+func (o *Orderer) VerifyNode(node int, data []byte, sig crypto.Signature) bool {
+	return o.c.Scheme.Verify(ordererIdentity(node), data, sig)
+}
+
+// ViewChangeMeta implements consensus.Host.
+func (o *Orderer) ViewChangeMeta() []byte { return nil }
+
+// ViewChanged implements consensus.Host.
+func (o *Orderer) ViewChanged(view uint64, leader int, metas [][]byte) {
+	o.vcOnce = false
+	if o.idx == 0 {
+		o.c.Collector.ViewChanges++
+	}
+}
+
+// RandInt implements consensus.Host.
+func (o *Orderer) RandInt(n int) int { return o.c.Sim.Rand().Intn(n) }
+
+// Proposed implements consensus.Host (unused by the baselines).
+func (o *Orderer) Proposed(seq uint64, v consensus.Value) {}
+
+// Deliver implements consensus.Host: assemble the block and send it to
+// every peer.
+func (o *Orderer) Deliver(seq uint64, v consensus.Value, cert *types.Certificate) {
+	_, hashes, err := types.DecodeOrdering(v.Data)
+	if err != nil {
+		return
+	}
+	if at, ok := o.proposeTime[v.Digest]; ok {
+		o.c.Collector.Phase("consensus", o.ctx.Now()-at)
+		delete(o.proposeTime, v.Digest)
+	}
+	blk := &FabricBlock{Number: seq, Cert: cert}
+	missing := 0
+	invalid := 0
+	checked := 0
+	for _, h := range hashes {
+		env, ok := o.byHash[h]
+		if !ok {
+			missing++
+			continue
+		}
+		// HLF consensus nodes verify payloads (sampled) — a garbage
+		// proposal triggers a view change (Table 4 S2).
+		if o.c.Cfg.Variant == HLF && checked < 8 {
+			checked++
+			o.ctx.Elapse(o.c.Cfg.Costs.SigVerify)
+			if !env.Tx.VerifySig(o.c.Scheme) {
+				invalid++
+			}
+		}
+		blk.Envs = append(blk.Envs, env)
+	}
+	if invalid > 0 && !o.vcOnce {
+		o.vcOnce = true
+		o.c.Collector.RejectedTxns += uint64(invalid)
+		o.replica.RequestViewChange()
+	}
+	o.delivered[seq] = blk
+	for {
+		b, ok := o.delivered[o.chainHeight]
+		if !ok {
+			return
+		}
+		// Only the block's view leader disseminates to peers.
+		if o.c.policyLeader(b.Cert, o.replica) == o.idx {
+			for _, org := range o.c.Peers {
+				for _, p := range org {
+					o.ctx.Send(p.ep.ID(), b)
+				}
+			}
+		}
+		delete(o.delivered, o.chainHeight)
+		o.chainHeight++
+	}
+}
+
+// garbageEnvelope replaces an envelope with an invalid one (S2 attack).
+func (o *Orderer) garbageEnvelope(orig *Envelope) *Envelope {
+	junk := make([]byte, 32)
+	o.c.Sim.Rand().Read(junk)
+	tx := &types.Transaction{
+		Client:   "forged",
+		Nonce:    o.c.Sim.Rand().Uint64(),
+		Contract: "smallbank",
+		Fn:       "send_payment",
+		Args:     [][]byte{junk},
+		Orgs:     orig.Tx.Orgs,
+		Padding:  orig.Tx.Padding,
+		Sig:      junk,
+	}
+	return &Envelope{Tx: tx}
+}

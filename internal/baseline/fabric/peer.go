@@ -1,0 +1,199 @@
+package fabric
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Peer is a Fabric peer: it endorses (simulates) transactions against its
+// committed state and validates+commits ordered blocks (VSCC + MVCC).
+type Peer struct {
+	c        *Cluster
+	org      int
+	orgName  string
+	idxInOrg int
+	ep       *simnet.Endpoint
+
+	state  *ledger.State
+	blocks *ledger.BlockStore
+	nondet *rand.Rand
+
+	commitHeight uint64
+	blockBuf     map[uint64]*FabricBlock
+	committed    map[types.TxID]bool
+}
+
+// Endpoint returns the peer's simnet endpoint.
+func (p *Peer) Endpoint() *simnet.Endpoint { return p.ep }
+
+// State exposes the committed world state.
+func (p *Peer) State() *ledger.State { return p.state }
+
+// Blocks exposes the peer's ledger.
+func (p *Peer) Blocks() *ledger.BlockStore { return p.blocks }
+
+// CommitHeight returns the number of committed blocks.
+func (p *Peer) CommitHeight() uint64 { return p.commitHeight }
+
+func newPeer(c *Cluster, org, idxInOrg int, seed int64) *Peer {
+	return &Peer{
+		c:         c,
+		org:       org,
+		orgName:   orgName(org),
+		idxInOrg:  idxInOrg,
+		state:     ledger.NewState(),
+		blocks:    ledger.NewBlockStore(),
+		nondet:    rand.New(rand.NewSource(seed)),
+		blockBuf:  make(map[uint64]*FabricBlock),
+		committed: make(map[types.TxID]bool),
+	}
+}
+
+// OnMessage implements simnet.Handler.
+func (p *Peer) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	switch m := msg.(type) {
+	case *EndorseReq:
+		p.endorse(ctx, from, m)
+	case *FabricBlock:
+		p.onBlock(ctx, m)
+	}
+}
+
+// endorse simulates the transaction against committed state and signs the
+// result (the execute phase of execute→order→validate).
+func (p *Peer) endorse(ctx *simnet.Context, from simnet.NodeID, m *EndorseReq) {
+	costs := p.c.Cfg.Costs
+	verifyCost, signCost := p.c.Cfg.endorsePerTxn()
+	ctx.Elapse(verifyCost) // client signature (cached/pipelined in FF)
+	resp := &EndorseResp{TxID: m.Tx.ID()}
+	if !m.Tx.VerifySig(p.c.Scheme) || !m.Tx.RelatedTo(p.orgName) {
+		resp.Err = true
+		ctx.Send(from, resp)
+		return
+	}
+	ctx.Elapse(costs.ExecTxn)
+	rw := p.c.Registry.Execute(p.state, m.Tx, p.nondet)
+	resp.Reads, resp.Writes, resp.Aborted = rw.Reads, rw.Writes, rw.Aborted
+	dig := rwDigest(rw.Reads, rw.Writes, rw.Aborted)
+	ctx.Elapse(signCost)
+	sig, err := p.c.Scheme.Sign(crypto.Identity(p.orgName), endorsementBytes(m.Tx.ID(), p.orgName, dig))
+	if err != nil {
+		resp.Err = true
+	} else {
+		resp.Endorsement = Endorsement{Org: p.orgName, Digest: dig, Sig: sig}
+	}
+	ctx.Send(from, resp)
+}
+
+// onBlock buffers and processes ordered blocks in order.
+func (p *Peer) onBlock(ctx *simnet.Context, m *FabricBlock) {
+	if m.Number < p.commitHeight {
+		return
+	}
+	if _, ok := p.blockBuf[m.Number]; ok {
+		return
+	}
+	// Verify the ordering certificate when present (BFT ordering).
+	if m.Cert != nil {
+		ctx.Elapse(p.c.Cfg.Costs.SigVerify + time.Duration(p.c.Cfg.quorum())*p.c.Cfg.Costs.MACVerify)
+		if !m.Cert.Verify(p.c.Scheme, ordererIdentity, p.c.Cfg.quorum()) {
+			return
+		}
+	}
+	p.blockBuf[m.Number] = m
+	for {
+		blk, ok := p.blockBuf[p.commitHeight]
+		if !ok {
+			return
+		}
+		p.validateAndCommit(ctx, blk)
+		delete(p.blockBuf, p.commitHeight)
+		p.commitHeight++
+	}
+}
+
+// validateAndCommit is the validate phase: VSCC endorsement checks and the
+// sequential MVCC check, then commit of valid write sets. Contending
+// transactions endorsed against the same snapshot abort here (§6.3).
+func (p *Peer) validateAndCommit(ctx *simnet.Context, blk *FabricBlock) {
+	costs := p.c.Cfg.Costs
+	start := ctx.Now()
+	ctx.Elapse(costs.BlockOverhead)
+	notices := make(map[crypto.Identity][]CommitEntry)
+	for i, env := range blk.Envs {
+		id := env.Tx.ID()
+		if p.committed[id] {
+			continue
+		}
+		p.committed[id] = true
+		ctx.Elapse(p.c.Cfg.validatePerTxn())
+		aborted := env.Aborted
+		if !aborted && !p.validateEndorsements(env) {
+			aborted = true
+			p.c.Collector.RejectedTxns++
+		}
+		if !aborted && !ledger.ValidateMVCC(p.state, &ledger.RWSet{Reads: env.Reads}) {
+			aborted = true
+			p.c.Collector.MVCCAborts++
+		}
+		if !aborted {
+			ctx.Elapse(costs.CommitTxn)
+			p.state.Apply(env.Writes, ledger.Version{Block: blk.Number, Tx: i})
+		}
+		// The first related org's lead peer notifies the client.
+		if p.idxInOrg == 0 && env.Tx.CorrespondingOrg() == p.orgName {
+			notices[env.Tx.Client] = append(notices[env.Tx.Client], CommitEntry{TxID: id, Aborted: aborted})
+		}
+	}
+	// Ledger append.
+	b := &types.Block{Number: blk.Number, Prev: p.blocks.LastDigest()}
+	for _, env := range blk.Envs {
+		b.Hashes = append(b.Hashes, env.Tx.ID())
+		b.Seqs = append(b.Seqs, 0)
+	}
+	if err := p.blocks.Append(b); err != nil {
+		p.c.safetyViolation("peer block append: " + err.Error())
+	}
+	p.c.Collector.Phase("validate", ctx.Now()-start)
+
+	clients := make([]crypto.Identity, 0, len(notices))
+	for cl := range notices {
+		clients = append(clients, cl)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, cl := range clients {
+		if ep, ok := p.c.clientEps[cl]; ok {
+			ctx.Send(ep, &CommitNote{Entries: notices[cl]})
+		}
+	}
+}
+
+// validateEndorsements checks the envelope carries a valid endorsement from
+// every related organization (VSCC). Signature-verification cost is part of
+// validatePerTxn.
+func (p *Peer) validateEndorsements(env *Envelope) bool {
+	if len(env.Endorsements) != len(env.Tx.Orgs) {
+		return false
+	}
+	dig := rwDigest(env.Reads, env.Writes, env.Aborted)
+	seen := make(map[string]bool, len(env.Endorsements))
+	for _, e := range env.Endorsements {
+		if seen[e.Org] || !env.Tx.RelatedTo(e.Org) {
+			return false
+		}
+		seen[e.Org] = true
+		if e.Digest != dig {
+			return false
+		}
+		if !p.c.Scheme.Verify(crypto.Identity(e.Org), endorsementBytes(env.Tx.ID(), e.Org, e.Digest), e.Sig) {
+			return false
+		}
+	}
+	return true
+}

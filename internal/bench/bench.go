@@ -1,0 +1,144 @@
+// Package bench is the benchmark harness that regenerates every table and
+// figure of the paper's evaluation (§6). Each experiment is registered under
+// the paper's artifact ID (fig3, fig5, fig6, table2, table3, table4, fig7,
+// fig8, fig9, fig10, plus design ablations) and produces a Table whose rows
+// mirror what the paper reports. EXPERIMENTS.md records paper-vs-measured.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Options tune experiment execution.
+type Options struct {
+	// Scale in (0,1] shrinks offered loads and measurement windows for
+	// quick runs; 1.0 is the paper-faithful configuration.
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+// DefaultOptions runs experiments at full scale.
+func DefaultOptions() Options { return Options{Scale: 1.0, Seed: 1} }
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// scaled shrinks a duration by the scale factor, with a floor.
+func (o Options) scaled(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.Scale)
+	if s < 200*time.Millisecond {
+		s = 200 * time.Millisecond
+	}
+	return s
+}
+
+// rate scales an offered load.
+func (o Options) rate(r float64) float64 { return r * o.Scale }
+
+// Experiment regenerates one of the paper's artifacts.
+type Experiment struct {
+	ID          string
+	Paper       string
+	Description string
+	Run         func(Options) *Table
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// Get returns the experiment registered under id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// helpers ---------------------------------------------------------------
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+func ktps(v float64) string { return fmt.Sprintf("%.2f", v/1000) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,539 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/attack"
+	"github.com/bidl-framework/bidl/internal/baseline/fabric"
+	"github.com/bidl-framework/bidl/internal/core"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// Default per-framework saturation offered loads (txns/s) in evaluation
+// setting A, calibrated so each framework runs at its natural capacity:
+// BIDL ≈ 40-45k (sequencer-bound), FastFabric ≈ 30k (MVCC-bound),
+// HLF ≈ 8-9k (VSCC+MVCC-bound), StreamChain ≈ 2-3k (per-txn ordering).
+const (
+	satBIDL   = 44000
+	satFF     = 30000
+	satHLF    = 10000
+	satStream = 3500
+)
+
+// settingA returns the paper's evaluation setting A for BIDL: four consensus
+// nodes (f=1), 50 organizations with one normal node each.
+func settingA(seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
+func settingAFabric(v fabric.Variant, seed int64) fabric.Config {
+	cfg := fabric.DefaultConfig(v)
+	cfg.Seed = seed
+	return cfg
+}
+
+func stdWorkload(contention, nondet float64, seed int64) workload.Config {
+	w := workload.DefaultConfig(50)
+	w.Accounts = 10000 // 1% hot set = 100 accounts (paper setup)
+	w.ContentionRatio = contention
+	w.NondetRatio = nondet
+	w.Seed = seed
+	return w
+}
+
+// --- Figure 3: performance vs contention ratio ------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Paper: "Figure 3",
+		Description: "Throughput, latency, and abort rate vs contention ratio " +
+			"(0-50%) for BIDL, FastFabric, and HLF; 4 consensus nodes, 50 normal nodes.",
+		Run: runFig3,
+	})
+}
+
+func runFig3(o Options) *Table {
+	t := &Table{
+		ID:    "fig3",
+		Title: "Performance under contention (setting A)",
+		Columns: []string{"contention", "bidl_ktps", "bidl_ms", "bidl_abort",
+			"ff_ktps", "ff_ms", "ff_abort", "hlf_ktps", "hlf_ms", "hlf_abort"},
+	}
+	window := o.scaled(1200 * time.Millisecond)
+	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		o.logf("fig3: contention %.0f%%", cr*100)
+		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+			Rate: o.rate(satBIDL), Window: window}.run()
+		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+			Rate: o.rate(satFF), Window: window}.run()
+		h, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+			Rate: o.rate(satHLF), Window: window}.run()
+		t.AddRow(pct(cr),
+			ktps(b.Throughput), ms(b.AvgLatency), pct(b.AbortRate),
+			ktps(f.Throughput), ms(f.AvgLatency), pct(f.AbortRate),
+			ktps(h.Throughput), ms(h.AvgLatency), pct(h.AbortRate))
+	}
+	t.Notes = append(t.Notes,
+		"paper: BIDL 40.1k txns/s with zero aborts at 50% contention; FF 2.2x lower with 37.7% aborts")
+	return t
+}
+
+// --- Figure 5: throughput vs latency ----------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig5",
+		Paper: "Figure 5",
+		Description: "Throughput vs latency curves in the fault-free case for " +
+			"BIDL, FastFabric, and StreamChain (offered-load sweep).",
+		Run: runFig5,
+	})
+}
+
+func runFig5(o Options) *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Throughput vs latency (fault-free, setting A)",
+		Columns: []string{"framework", "offered_ktps", "achieved_ktps", "avg_ms", "p99_ms"},
+	}
+	window := o.scaled(1200 * time.Millisecond)
+	sweep := func(name string, rates []float64, run func(rate float64) Result) {
+		for _, r := range rates {
+			o.logf("fig5: %s at %.0f txns/s", name, o.rate(r))
+			res := run(o.rate(r))
+			t.AddRow(name, ktps(o.rate(r)), ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99))
+		}
+	}
+	sweep("bidl", []float64{5000, 10000, 20000, 30000, 40000, 44000}, func(rate float64) Result {
+		r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
+		return r
+	})
+	sweep("fastfabric", []float64{5000, 10000, 20000, 26000, 30000}, func(rate float64) Result {
+		r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
+		return r
+	})
+	sweep("streamchain", []float64{500, 1000, 2000, 3000, 3500}, func(rate float64) Result {
+		r, _ := fabricRun{Cfg: settingAFabric(fabric.StreamChain, o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
+		return r
+	})
+	t.Notes = append(t.Notes,
+		"paper: StreamChain lowest latency at low throughput; BIDL dominates both throughput and latency at scale")
+	return t
+}
+
+// --- Figure 6: BIDL scalability across BFT protocols ------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Paper: "Figure 6",
+		Description: "BIDL latency with four BFT protocols (BFT-SMaRt, Zyzzyva, " +
+			"SBFT, HotStuff) as organizations scale 4..97 (setting B: 1 CN + 1 NN per org).",
+		Run: runFig6,
+	})
+}
+
+var fig6Orgs = []int{4, 7, 13, 25, 49, 97}
+
+func runFig6(o Options) *Table {
+	t := &Table{
+		ID:      "fig6",
+		Title:   "BIDL latency vs #organizations per BFT protocol (ms)",
+		Columns: []string{"orgs", "bft-smart", "zyzzyva", "sbft", "hotstuff"},
+	}
+	window := o.scaled(1 * time.Second)
+	for _, orgs := range fig6Orgs {
+		row := []string{fmt.Sprintf("%d", orgs)}
+		for _, proto := range []string{core.ProtoPBFT, core.ProtoZyzzyva, core.ProtoSBFT, core.ProtoHotStuff} {
+			o.logf("fig6: %s with %d orgs", proto, orgs)
+			cfg := settingB(orgs, 1, o.Seed)
+			cfg.Protocol = proto
+			w := stdWorkload(0, 0, o.Seed)
+			w.NumOrgs = orgs
+			res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(20000), Window: window}.run()
+			row = append(row, ms(res.AvgLatency))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: latency first decreases (execution parallelism grows) then increases gently (consensus cost)")
+	return t
+}
+
+// settingB builds the scalability setting: one consensus node per org.
+func settingB(orgs, nnPerOrg int, seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumOrgs = orgs
+	cfg.NormalPerOrg = nnPerOrg
+	cfg.NumConsensus = orgs
+	cfg.F = (orgs - 1) / 3
+	if cfg.F < 1 {
+		cfg.F = 1
+	}
+	return cfg
+}
+
+// --- Tables 2 and 3: latency breakdowns -------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "table2",
+		Paper: "Table 2",
+		Description: "FastFabric-SMaRt end-to-end latency breakdown " +
+			"(endorse/consensus/validate) vs #organizations.",
+		Run: runTable2,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Paper: "Table 3",
+		Description: "BIDL-SMaRt end-to-end latency breakdown " +
+			"(consensus/ver&exec/persist/commit) vs #organizations.",
+		Run: runTable3,
+	})
+}
+
+func runTable2(o Options) *Table {
+	t := &Table{
+		ID:      "table2",
+		Title:   "FastFabric-SMaRt latency breakdown (ms)",
+		Columns: []string{"orgs", "P1_endorse", "P2_consensus", "P3_validate", "end_to_end"},
+	}
+	window := o.scaled(1 * time.Second)
+	for _, orgs := range fig6Orgs {
+		o.logf("table2: %d orgs", orgs)
+		cfg := settingAFabric(fabric.FastFabric, o.Seed)
+		cfg.Protocol = "bft-smart" // the paper's modified FastFabric-SMaRt
+		cfg.NumOrgs = orgs
+		cfg.NumOrderers = orgs
+		cfg.F = (orgs - 1) / 3
+		if cfg.F < 1 {
+			cfg.F = 1
+		}
+		cfg.PeersPerOrg = 1
+		w := stdWorkload(0, 0, o.Seed)
+		w.NumOrgs = orgs
+		res, _ := fabricRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run()
+		endorse := res.Collector.PhaseAvg("endorse")
+		cons := res.Collector.PhaseAvg("consensus")
+		validate := res.Collector.PhaseAvg("validate")
+		t.AddRow(fmt.Sprintf("%d", orgs), ms(endorse), ms(cons), ms(validate), ms(endorse+cons+validate))
+	}
+	t.Notes = append(t.Notes,
+		"paper (4→97 orgs): endorse 9.2→6.5, consensus 10.4→16.2, validate 51.5→6.9, e2e 71.0→29.6")
+	return t
+}
+
+func runTable3(o Options) *Table {
+	t := &Table{
+		ID:      "table3",
+		Title:   "BIDL-SMaRt latency breakdown (ms)",
+		Columns: []string{"orgs", "P1_consensus", "P2_ver_exec", "P3_persist", "P4_execution", "P5_commit", "end_to_end"},
+	}
+	window := o.scaled(1 * time.Second)
+	for _, orgs := range fig6Orgs {
+		o.logf("table3: %d orgs", orgs)
+		cfg := settingB(orgs, 1, o.Seed)
+		w := stdWorkload(0, 0, o.Seed)
+		w.NumOrgs = orgs
+		res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run()
+		cons := res.Collector.PhaseAvg("consensus")
+		verexec := res.Collector.PhaseAvg("verexec")
+		persist := res.Collector.PhaseAvg("persist")
+		commit := res.Collector.PhaseAvg("commit")
+		exec := verexec + persist
+		e2e := cons
+		if exec > e2e {
+			e2e = exec
+		}
+		e2e += commit
+		t.AddRow(fmt.Sprintf("%d", orgs), ms(cons), ms(verexec), ms(persist), ms(exec), ms(commit), ms(e2e))
+	}
+	t.Notes = append(t.Notes,
+		"paper (4→97 orgs): consensus 10.3→16.4, ver&exec 59.3→7.6, persist 0.5→2.1, commit ~2.7, e2e = max(P1,P4)+P5 62.5→19.3")
+	return t
+}
+
+// --- Table 4: malicious participants -----------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "table4",
+		Paper: "Table 4",
+		Description: "Effective throughput under S1 (fault-free), S2 (malicious " +
+			"leader proposing invalid transactions), S3 (malicious broadcaster) " +
+			"for StreamChain, HLF, FastFabric, BIDL without denylist, and BIDL.",
+		Run: runTable4,
+	})
+}
+
+func runTable4(o Options) *Table {
+	t := &Table{
+		ID:      "table4",
+		Title:   "Effective throughput under malicious participants (ktxns/s)",
+		Columns: []string{"framework", "S1_fault_free", "S2_malicious_leader", "S3_malicious_broadcaster"},
+	}
+	window := o.scaled(2 * time.Second)
+	warm := window / 2 // measure after the system stabilizes post-attack
+	wl := stdWorkload(0, 0, o.Seed)
+
+	// StreamChain.
+	o.logf("table4: streamchain S1")
+	sc, _ := fabricRun{Cfg: settingAFabric(fabric.StreamChain, o.Seed), Workload: wl,
+		Rate: o.rate(satStream), Window: window, Warmup: warm}.run()
+	t.AddRow("streamchain", ktps(sc.Throughput), "N/A", "N/A")
+
+	// HLF: S1; S2 malicious orderer; S3 unaffected (no multicast ingestion).
+	o.logf("table4: hlf S1")
+	h1, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: wl,
+		Rate: o.rate(satHLF), Window: window, Warmup: warm}.run()
+	o.logf("table4: hlf S2")
+	h2, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: wl,
+		Rate: o.rate(satHLF), Window: window, Warmup: warm,
+		Mutate: func(c *fabric.Cluster, _ *workload.Generator) {
+			c.Orderers[c.LeaderIndex()].ProposeGarbage = true
+		}}.run()
+	t.AddRow("hlf", ktps(h1.Throughput), ktps(h2.Throughput), ktps(h1.Throughput))
+
+	// FastFabric: only S1 is in its trust model.
+	o.logf("table4: fastfabric S1")
+	ff, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: wl,
+		Rate: o.rate(satFF), Window: window, Warmup: warm}.run()
+	t.AddRow("fastfabric", ktps(ff.Throughput), "N/A", "N/A")
+
+	// BIDL without the denylist: S3 hurts and stays hurt.
+	noDeny := settingA(o.Seed)
+	noDeny.DisableDenylist = true
+	o.logf("table4: bidl-no-denylist S1")
+	bn1, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm}.run()
+	o.logf("table4: bidl-no-denylist S2")
+	bn2, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
+		Mutate: func(c *core.Cluster, _ *workload.Generator) {
+			attack.EnableMaliciousLeader(c, c.LeaderIndex())
+		}}.run()
+	o.logf("table4: bidl-no-denylist S3")
+	bn3, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
+		Mutate: broadcastAttack(100*time.Millisecond, -1)}.run()
+	t.AddRow("bidl-no-denylist", ktps(bn1.Throughput), ktps(bn2.Throughput), ktps(bn3.Throughput))
+
+	// BIDL with the full shepherded workflow.
+	o.logf("table4: bidl S1")
+	b1, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm}.run()
+	o.logf("table4: bidl S2")
+	b2, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
+		Mutate: func(c *core.Cluster, _ *workload.Generator) {
+			attack.EnableMaliciousLeader(c, c.LeaderIndex())
+		}}.run()
+	o.logf("table4: bidl S3")
+	b3, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
+		Mutate: broadcastAttack(100*time.Millisecond, -1)}.run()
+	t.AddRow("bidl", ktps(b1.Throughput), ktps(b2.Throughput), ktps(b3.Throughput))
+
+	t.Notes = append(t.Notes,
+		"paper: SC 2.73 / HLF 9.25 / FF 29.32 / BIDL-no-denylist 41.67,41.67,10.75 / BIDL 41.67 across all")
+	return t
+}
+
+// --- Figure 7: real-time throughput under the smart adversary ----------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Paper: "Figure 7",
+		Description: "Real-time BIDL throughput while a smart adversary attacks " +
+			"only one correct node's views: dip, view changes, denylist, recovery.",
+		Run: runFig7,
+	})
+}
+
+func runFig7(o Options) *Table {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "BIDL throughput timeline under the smart adversary",
+		Columns: []string{"time_s", "ktps"},
+	}
+	horizon := o.scaled(6 * time.Second)
+	attackAt := horizon / 6
+	rate := o.rate(satBIDL * 3 / 4)
+	o.logf("fig7: %.0f txns/s, attack at %v", rate, attackAt)
+	res, c := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed),
+		Rate: rate, Window: horizon, Warmup: time.Millisecond,
+		Mutate: func(cl *core.Cluster, gen *workload.Generator) {
+			cfg := attack.DefaultBroadcasterConfig()
+			cfg.TargetLeader = cl.LeaderIndex()
+			b := attack.NewBroadcaster(cl, gen, cfg)
+			b.Start(attackAt)
+		}}.run()
+	width := horizon / 30
+	for i, v := range res.Collector.Timeline(width, horizon) {
+		t.AddRow(fmt.Sprintf("%.2f", (time.Duration(i)*width).Seconds()), ktps(v))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("attack starts at %.2fs; view changes observed: %d; clients denied: %d",
+			attackAt.Seconds(), res.Collector.ViewChanges, res.Collector.DeniedClients),
+		"paper: throughput dips on attack, view changes rotate the leader, the denylist restores peak throughput")
+	_ = c
+	return t
+}
+
+// --- Figure 8: non-determinism and contention robustness ---------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Paper: "Figure 8",
+		Description: "Effective throughput of BIDL vs FastFabric under increasing " +
+			"non-determinism ratio and increasing contention ratio.",
+		Run: runFig8,
+	})
+}
+
+func runFig8(o Options) *Table {
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Robustness to non-deterministic and contended workloads (ktxns/s)",
+		Columns: []string{"workload", "param", "bidl_ktps", "bidl_abort", "ff_ktps", "ff_abort"},
+	}
+	window := o.scaled(1200 * time.Millisecond)
+	for _, nd := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		o.logf("fig8: nondet %.0f%%", nd*100)
+		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, nd, o.Seed),
+			Rate: o.rate(satBIDL), Window: window}.run()
+		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(0, nd, o.Seed),
+			Rate: o.rate(satFF), Window: window}.run()
+		t.AddRow("nondet", pct(nd), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
+	}
+	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		o.logf("fig8: contention %.0f%%", cr*100)
+		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+			Rate: o.rate(satBIDL), Window: window}.run()
+		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+			Rate: o.rate(satFF), Window: window}.run()
+		t.AddRow("contention", pct(cr), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
+	}
+	t.Notes = append(t.Notes,
+		"paper: both drop with non-determinism (BIDL faster); under contention BIDL holds throughput with zero aborts while FF aborts grow")
+	return t
+}
+
+// --- Figure 9: multi-datacenter bandwidth -------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Paper: "Figure 9",
+		Description: "BIDL vs BIDL-opt-disabled (no IP multicast, no consensus-on-hash) " +
+			"across 4 datacenters with shrinking inter-DC bandwidth.",
+		Run: runFig9,
+	})
+}
+
+func runFig9(o Options) *Table {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Throughput over 4 datacenters vs inter-DC bandwidth (ktxns/s)",
+		Columns: []string{"bandwidth_gbps", "bidl", "bidl_opt_disabled"},
+	}
+	window := o.scaled(1200 * time.Millisecond)
+	for _, gbps := range []float64{10, 5, 2, 1, 0.5} {
+		o.logf("fig9: %.1f Gbps inter-DC", gbps)
+		mk := func(optDisabled bool) core.Config {
+			cfg := settingA(o.Seed)
+			cfg.NumDCs = 4
+			cfg.Topology = simnet.MultiDCTopology(int64(gbps * float64(simnet.Gbps)))
+			cfg.Topology.InterLatency = 10 * time.Millisecond // 20ms RTT (§6.4)
+			cfg.ViewTimeout = 400 * time.Millisecond
+			cfg.BlockTimeout = 25 * time.Millisecond
+			if optDisabled {
+				cfg.DisableMulticast = true
+				cfg.ConsensusOnPayload = true
+			}
+			return cfg
+		}
+		b, _ := bidlRun{Cfg: mk(false), Workload: stdWorkload(0, 0, o.Seed),
+			Rate: o.rate(satBIDL / 2), Window: window}.run()
+		d, _ := bidlRun{Cfg: mk(true), Workload: stdWorkload(0, 0, o.Seed),
+			Rate: o.rate(satBIDL / 2), Window: window}.run()
+		t.AddRow(fmt.Sprintf("%.1f", gbps), ktps(b.Throughput), ktps(d.Throughput))
+	}
+	t.Notes = append(t.Notes,
+		"paper: BIDL degrades slowly as bandwidth shrinks; without multicast+consensus-on-hash the gap widens at tight bandwidth")
+	return t
+}
+
+// --- Figure 10: packet loss ---------------------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "fig10",
+		Paper: "Figure 10",
+		Description: "BIDL vs FastFabric effective throughput under increasing " +
+			"packet-loss rates.",
+		Run: runFig10,
+	})
+}
+
+func runFig10(o Options) *Table {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "Throughput vs packet-loss rate (ktxns/s)",
+		Columns: []string{"loss", "bidl", "fastfabric"},
+	}
+	window := o.scaled(1500 * time.Millisecond)
+	for _, loss := range []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08} {
+		o.logf("fig10: %.1f%% loss", loss*100)
+		cfg := settingA(o.Seed)
+		cfg.Topology.LossRate = loss
+		b, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
+			Rate: o.rate(satBIDL * 3 / 4), Window: window}.run()
+		fcfg := settingAFabric(fabric.FastFabric, o.Seed)
+		fcfg.Topology.LossRate = loss
+		f, _ := fabricRun{Cfg: fcfg, Workload: stdWorkload(0, 0, o.Seed),
+			Rate: o.rate(satFF * 3 / 4), Window: window}.run()
+		t.AddRow(pct(loss), ktps(b.Throughput), ktps(f.Throughput))
+	}
+	t.Notes = append(t.Notes,
+		"paper: BIDL's gain over FF is largest at low loss and narrows as loss grows")
+	return t
+}
+
+// --- Ablations ----------------------------------------------------------------
+
+func init() {
+	register(Experiment{
+		ID:    "ablation",
+		Paper: "Design ablations (extension)",
+		Description: "BIDL design-choice ablations: parallel vs sequential workflow, " +
+			"IP multicast, consensus-on-hash.",
+		Run: runAblation,
+	})
+}
+
+func runAblation(o Options) *Table {
+	t := &Table{
+		ID:      "ablation",
+		Title:   "BIDL ablations (setting A)",
+		Columns: []string{"variant", "ktps", "avg_ms", "p99_ms", "spec_success"},
+	}
+	window := o.scaled(1200 * time.Millisecond)
+	run := func(name string, mut func(*core.Config)) {
+		o.logf("ablation: %s", name)
+		cfg := settingA(o.Seed)
+		mut(&cfg)
+		res, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0.2, 0, o.Seed),
+			Rate: o.rate(satBIDL * 3 / 4), Window: window}.run()
+		t.AddRow(name, ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99), pct(res.SpecSuccess))
+	}
+	run("bidl-full", func(*core.Config) {})
+	run("no-speculation", func(c *core.Config) { c.DisableSpeculation = true })
+	run("no-multicast", func(c *core.Config) { c.DisableMulticast = true })
+	run("consensus-on-payload", func(c *core.Config) { c.ConsensusOnPayload = true })
+	t.Notes = append(t.Notes,
+		"no-speculation reverts to the sequential workflow: latency rises by roughly the execution phase")
+	return t
+}

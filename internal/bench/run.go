@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/attack"
+	"github.com/bidl-framework/bidl/internal/baseline/fabric"
+	"github.com/bidl-framework/bidl/internal/core"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// Result summarizes one framework run.
+type Result struct {
+	Throughput  float64 // effective txns/s in the measurement window
+	AvgLatency  time.Duration
+	P50, P99    time.Duration
+	AbortRate   float64
+	SpecSuccess float64
+	Collector   *metrics.Collector
+	SafetyErr   error
+}
+
+// scheduleLoad submits rate txns/s over window onto a BIDL cluster.
+func scheduleLoadBIDL(c *core.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
+	return scheduleTicks(rate, window, func(at time.Duration, n int) {
+		c.SubmitAt(at, gen.Batch(n)...)
+	})
+}
+
+// scheduleLoadFabric submits rate txns/s over window onto a fabric cluster.
+func scheduleLoadFabric(c *fabric.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
+	return scheduleTicks(rate, window, func(at time.Duration, n int) {
+		c.SubmitAt(at, gen.Batch(n)...)
+	})
+}
+
+// scheduleTicks drives fn once per millisecond with the txn count owed at
+// that tick, returning the total scheduled.
+func scheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
+	tick := time.Millisecond
+	perTick := rate / 1000.0
+	total := 0
+	acc := 0.0
+	for at := time.Duration(0); at < window; at += tick {
+		acc += perTick
+		n := int(acc)
+		if n > 0 {
+			acc -= float64(n)
+			fn(at, n)
+			total += n
+		}
+	}
+	return total
+}
+
+// bidlRun executes a BIDL run and returns its result.
+type bidlRun struct {
+	Cfg      core.Config
+	Workload workload.Config
+	Rate     float64
+	Window   time.Duration // load window
+	Warmup   time.Duration
+	Drain    time.Duration
+	// Mutate, when non-nil, adjusts the cluster before the run (attacks).
+	Mutate func(*core.Cluster, *workload.Generator)
+}
+
+func (r bidlRun) run() (Result, *core.Cluster) {
+	if r.Warmup == 0 {
+		r.Warmup = r.Window / 5
+	}
+	if r.Drain == 0 {
+		r.Drain = 500 * time.Millisecond
+	}
+	c := core.NewCluster(r.Cfg)
+	r.Workload.NumOrgs = r.Cfg.NumOrgs
+	gen := workload.NewGenerator(r.Workload, c.Scheme)
+	ids := make([]crypto.Identity, r.Workload.NumClients)
+	for i := range ids {
+		ids[i] = gen.Client(i)
+	}
+	c.RegisterClients(ids)
+	c.Prepopulate(gen.Prepopulate)
+	if r.Mutate != nil {
+		r.Mutate(c, gen)
+	}
+	scheduleLoadBIDL(c, gen, r.Rate, r.Window)
+	c.Run(r.Window + r.Drain)
+	return summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety()), c
+}
+
+// fabricRun executes a baseline run and returns its result.
+type fabricRun struct {
+	Cfg      fabric.Config
+	Workload workload.Config
+	Rate     float64
+	Window   time.Duration
+	Warmup   time.Duration
+	Drain    time.Duration
+	Mutate   func(*fabric.Cluster, *workload.Generator)
+}
+
+func (r fabricRun) run() (Result, *fabric.Cluster) {
+	if r.Warmup == 0 {
+		r.Warmup = r.Window / 5
+	}
+	if r.Drain == 0 {
+		r.Drain = 500 * time.Millisecond
+	}
+	c := fabric.NewCluster(r.Cfg)
+	r.Workload.NumOrgs = r.Cfg.NumOrgs
+	gen := workload.NewGenerator(r.Workload, c.Scheme)
+	ids := make([]crypto.Identity, r.Workload.NumClients)
+	for i := range ids {
+		ids[i] = gen.Client(i)
+	}
+	c.RegisterClients(ids)
+	c.Prepopulate(gen.Prepopulate)
+	if r.Mutate != nil {
+		r.Mutate(c, gen)
+	}
+	scheduleLoadFabric(c, gen, r.Rate, r.Window)
+	c.Run(r.Window + r.Drain)
+	return summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety()), c
+}
+
+func summarize(col *metrics.Collector, warmup, window time.Duration, safety error) Result {
+	return Result{
+		Throughput:  col.EffectiveThroughput(warmup, window),
+		AvgLatency:  col.AvgLatency(warmup, window),
+		P50:         col.PercentileLatency(0.5, warmup, window),
+		P99:         col.PercentileLatency(0.99, warmup, window),
+		AbortRate:   col.AbortRate(),
+		SpecSuccess: col.SpecSuccessRate(),
+		Collector:   col,
+		SafetyErr:   safety,
+	}
+}
+
+// newDebugCluster builds a loaded BIDL cluster for diagnostics.
+func newDebugCluster(cfg core.Config, w workload.Config, rate float64, window time.Duration) *core.Cluster {
+	c := core.NewCluster(cfg)
+	w.NumOrgs = cfg.NumOrgs
+	gen := workload.NewGenerator(w, c.Scheme)
+	ids := make([]crypto.Identity, w.NumClients)
+	for i := range ids {
+		ids[i] = gen.Client(i)
+	}
+	c.RegisterClients(ids)
+	c.Prepopulate(gen.Prepopulate)
+	scheduleLoadBIDL(c, gen, rate, window)
+	return c
+}
+
+// broadcastAttack wires the Table 4 S3 / Fig 7 broadcaster.
+func broadcastAttack(start time.Duration, target int) func(*core.Cluster, *workload.Generator) {
+	return func(c *core.Cluster, gen *workload.Generator) {
+		cfg := attack.DefaultBroadcasterConfig()
+		cfg.TargetLeader = target
+		b := attack.NewBroadcaster(c, gen, cfg)
+		b.Start(start)
+	}
+}

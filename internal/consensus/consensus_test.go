@@ -1,0 +1,77 @@
+package consensus
+
+import (
+	"testing"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+)
+
+func TestRoundRobin(t *testing.T) {
+	p := RoundRobin{N: 4}
+	for v := uint64(0); v < 12; v++ {
+		if got := p.Leader(v); got != int(v%4) {
+			t.Fatalf("leader(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestRandomEpochEachNodeLeadsOncePerEpoch(t *testing.T) {
+	// §4.6: views are grouped into epochs of N views and each consensus
+	// node is the leader of exactly one view per epoch.
+	for _, n := range []int{4, 7, 13} {
+		p := RandomEpoch{N: n, Seed: crypto.Hash([]byte("seed"))}
+		for epoch := uint64(0); epoch < 5; epoch++ {
+			seen := make(map[int]bool, n)
+			for i := 0; i < n; i++ {
+				l := p.Leader(epoch*uint64(n) + uint64(i))
+				if l < 0 || l >= n {
+					t.Fatalf("leader out of range: %d", l)
+				}
+				if seen[l] {
+					t.Fatalf("n=%d epoch=%d: node %d leads twice", n, epoch, l)
+				}
+				seen[l] = true
+			}
+		}
+	}
+}
+
+func TestRandomEpochDeterministic(t *testing.T) {
+	a := RandomEpoch{N: 7, Seed: crypto.Hash([]byte("x"))}
+	b := RandomEpoch{N: 7, Seed: crypto.Hash([]byte("x"))}
+	for v := uint64(0); v < 50; v++ {
+		if a.Leader(v) != b.Leader(v) {
+			t.Fatal("same seed produced different schedules")
+		}
+	}
+}
+
+func TestRandomEpochUnpredictableAcrossEpochs(t *testing.T) {
+	// The rotation must not be the same permutation every epoch (that
+	// would let the adversary predict successors, §4.6).
+	p := RandomEpoch{N: 13, Seed: crypto.Hash([]byte("x"))}
+	same := true
+	for i := 0; i < 13; i++ {
+		if p.Leader(uint64(i)) != p.Leader(uint64(13+i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("epoch 0 and 1 have identical leader orders")
+	}
+}
+
+func TestQuorums(t *testing.T) {
+	c := Config{N: 7, F: 2}
+	if c.Quorum() != 5 || c.FastQuorum() != 7 {
+		t.Fatalf("quorums %d/%d", c.Quorum(), c.FastQuorum())
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	v := Value{Data: make([]byte, 100)}
+	if v.Size() != 132 {
+		t.Fatalf("size %d", v.Size())
+	}
+}

@@ -1,0 +1,53 @@
+package raft
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/consensus/constest"
+	"github.com/bidl-framework/bidl/internal/simnet"
+)
+
+func factory(cfg consensus.Config, host consensus.Host) consensus.Replica {
+	return New(cfg, host)
+}
+
+func TestConformance(t *testing.T) {
+	constest.RunConformance(t, factory, constest.ConformanceOptions{HasCerts: false})
+}
+
+func TestFiveNodeCluster(t *testing.T) {
+	constest.RunConformance(t, factory, constest.ConformanceOptions{N: 5, F: 2, HasCerts: false})
+}
+
+func TestCommitUnderPacketLoss(t *testing.T) {
+	topo := simnet.DefaultTopology()
+	topo.LossRate = 0.05
+	c := constest.NewCluster(3, 1, factory, constest.Options{Topology: &topo, ViewTimeout: 30 * time.Millisecond})
+	const k = 20
+	for i := 0; i < k; i++ {
+		c.Propose(time.Duration(i)*time.Millisecond, constest.Val(string(rune('a'+i))))
+	}
+	c.Run(5 * time.Second)
+	// Heartbeat re-broadcast must eventually deliver everything at the
+	// leader despite 5% loss.
+	leader := c.Nodes[c.LeaderIdx()]
+	if got := len(leader.DeliveredDigests()); got != k {
+		t.Fatalf("leader delivered %d of %d under loss", got, k)
+	}
+}
+
+func TestFollowersLearnCommitViaHeartbeat(t *testing.T) {
+	c := constest.NewCluster(3, 1, factory, constest.Options{ViewTimeout: 30 * time.Millisecond})
+	c.Propose(time.Millisecond, constest.Val("x"))
+	c.Run(time.Second)
+	for i, n := range c.Nodes {
+		if len(n.Delivered) != 1 {
+			t.Fatalf("node %d delivered %d, want 1", i, len(n.Delivered))
+		}
+		if n.Delivered[0].Cert != nil {
+			t.Fatalf("raft delivery carried a certificate")
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package sbft implements an SBFT-style linear BFT protocol: replicas send
+// threshold-signature shares to c+1 collectors (default c=1, §6), a
+// collector combines a quorum of shares into a single commit proof and
+// broadcasts it, and replicas verify one aggregate signature regardless of
+// cluster size. The fast path combines 3f+1 shares; if the fast quorum does
+// not form before a timeout, the collector falls back to a 2f+1 proof.
+//
+// Redundant collectors make the protocol robust to a crashed collector;
+// duplicate proofs are deduplicated by the decided flag.
+package sbft
+
+import (
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Message kinds.
+const (
+	kindPrePrepare  = iota // leader → all
+	kindShare              // replica → collectors
+	kindCommitProof        // collector → all
+	kindViewChange
+	kindNewView
+)
+
+// Msg is the single wire type for all SBFT messages.
+type Msg struct {
+	Kind   int
+	View   uint64
+	Seq    uint64
+	Node   int
+	Digest crypto.Digest
+	Data   []byte
+	Sig    crypto.Signature
+	Certs  []types.NodeSig
+	Meta   []byte
+	Seen   []Entry
+}
+
+// Entry summarizes an in-flight instance for view changes.
+type Entry struct {
+	Seq    uint64
+	Digest crypto.Digest
+	Data   []byte
+}
+
+// Size implements consensus.Msg.
+func (m *Msg) Size() int {
+	n := 1 + 8 + 8 + 4 + 32 + len(m.Data) + len(m.Sig) + len(m.Meta)
+	n += len(m.Certs) * (4 + 64)
+	for _, e := range m.Seen {
+		n += 8 + 32 + len(e.Data)
+	}
+	return n
+}
+
+type instance struct {
+	digest   crypto.Digest
+	data     []byte
+	have     bool
+	shares   map[int]crypto.Signature
+	fallback bool
+	decided  bool
+}
+
+// Replica is one SBFT consensus node.
+type Replica struct {
+	cfg        consensus.Config
+	host       consensus.Host
+	collectors int // c+1
+
+	view       uint64
+	inView     bool
+	nextSeq    uint64
+	instances  map[uint64]*instance
+	pending    []consensus.Value
+	vcs        map[uint64]map[int]*Msg
+	timerArmed bool
+	timerEpoch uint64
+	decidedCnt uint64
+}
+
+// New creates an SBFT replica with the paper's default c=1 (two collectors).
+func New(cfg consensus.Config, host consensus.Host) *Replica {
+	return NewWithCollectors(cfg, host, 2)
+}
+
+// NewWithCollectors creates an SBFT replica with an explicit collector count.
+func NewWithCollectors(cfg consensus.Config, host consensus.Host, collectors int) *Replica {
+	if collectors < 1 {
+		collectors = 1
+	}
+	if collectors > cfg.N {
+		collectors = cfg.N
+	}
+	return &Replica{
+		cfg:        cfg,
+		host:       host,
+		collectors: collectors,
+		inView:     true,
+		instances:  make(map[uint64]*instance),
+		vcs:        make(map[uint64]map[int]*Msg),
+	}
+}
+
+// Name returns the protocol name.
+func (r *Replica) Name() string { return "sbft" }
+
+// View implements consensus.Replica.
+func (r *Replica) View() uint64 { return r.view }
+
+// Leader implements consensus.Replica.
+func (r *Replica) Leader() int { return r.cfg.Policy.Leader(r.view) }
+
+// IsLeader implements consensus.Replica.
+func (r *Replica) IsLeader() bool { return r.Leader() == r.cfg.Self }
+
+// Start implements consensus.Replica.
+func (r *Replica) Start() {}
+
+// isCollector reports whether node idx collects shares in the current view.
+func (r *Replica) isCollector(idx int) bool {
+	leader := r.Leader()
+	for i := 0; i < r.collectors; i++ {
+		if (leader+i)%r.cfg.N == idx {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Replica) inst(seq uint64) *instance {
+	in, ok := r.instances[seq]
+	if !ok {
+		in = &instance{shares: make(map[int]crypto.Signature)}
+		r.instances[seq] = in
+	}
+	return in
+}
+
+// Propose implements consensus.Replica.
+func (r *Replica) Propose(v consensus.Value) {
+	if !r.IsLeader() || !r.inView {
+		r.pending = append(r.pending, v)
+		return
+	}
+	r.proposeAt(r.nextSeq, v)
+	r.nextSeq++
+}
+
+func (r *Replica) proposeAt(seq uint64, v consensus.Value) {
+	in := r.inst(seq)
+	in.digest, in.data, in.have = v.Digest, v.Data, true
+	r.host.Proposed(seq, v)
+	r.host.Elapse(r.cfg.MACCompute)
+	r.host.BroadcastCN(&Msg{Kind: kindPrePrepare, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: v.Digest, Data: v.Data})
+	r.sendShare(seq, in)
+	r.armTimer()
+}
+
+// sendShare signs a threshold share and routes it to every collector.
+func (r *Replica) sendShare(seq uint64, in *instance) {
+	r.host.Elapse(r.cfg.ThresholdSign)
+	sig := r.host.Sign(types.CertSigningBytes(r.view, seq, in.digest))
+	for i := 0; i < r.collectors; i++ {
+		collector := (r.Leader() + i) % r.cfg.N
+		m := &Msg{Kind: kindShare, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Sig: sig}
+		if collector == r.cfg.Self {
+			r.acceptShare(r.cfg.Self, seq, in, sig)
+		} else {
+			r.host.Send(collector, m)
+		}
+	}
+}
+
+// Step implements consensus.Replica.
+func (r *Replica) Step(from int, m consensus.Msg) {
+	msg, ok := m.(*Msg)
+	if !ok {
+		return
+	}
+	switch msg.Kind {
+	case kindPrePrepare:
+		r.onPrePrepare(from, msg)
+	case kindShare:
+		r.onShare(from, msg)
+	case kindCommitProof:
+		r.onCommitProof(from, msg)
+	case kindViewChange:
+		r.onViewChange(from, msg)
+	case kindNewView:
+		r.onNewView(from, msg)
+	}
+}
+
+func (r *Replica) onPrePrepare(from int, m *Msg) {
+	r.host.Elapse(r.cfg.MACVerify)
+	if m.View != r.view || !r.inView || from != r.Leader() {
+		return
+	}
+	in := r.inst(m.Seq)
+	if in.decided {
+		return
+	}
+	if in.have && in.digest != m.Digest {
+		r.RequestViewChange()
+		return
+	}
+	in.digest, in.data, in.have = m.Digest, m.Data, true
+	r.host.Proposed(m.Seq, consensus.Value{Digest: m.Digest, Data: m.Data})
+	r.sendShare(m.Seq, in)
+	r.armTimer()
+}
+
+func (r *Replica) onShare(from int, m *Msg) {
+	if m.View != r.view || !r.inView || !r.isCollector(r.cfg.Self) {
+		return
+	}
+	// Share verification is cheap relative to combination; charge a MAC.
+	r.host.Elapse(r.cfg.MACVerify)
+	if !r.host.VerifyNode(from, types.CertSigningBytes(m.View, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	in := r.inst(m.Seq)
+	if !in.have || in.digest != m.Digest {
+		return
+	}
+	r.acceptShare(from, m.Seq, in, m.Sig)
+}
+
+func (r *Replica) acceptShare(from int, seq uint64, in *instance, sig crypto.Signature) {
+	if in.decided {
+		return
+	}
+	in.shares[from] = sig
+	if len(in.shares) >= r.cfg.FastQuorum() {
+		r.emitProof(seq, in, r.cfg.FastQuorum())
+		return
+	}
+	if len(in.shares) == r.cfg.Quorum() && !in.fallback {
+		in.fallback = true
+		epoch := r.timerEpoch
+		slice := r.cfg.ViewTimeout / 4
+		if slice <= 0 {
+			slice = 5 * time.Millisecond
+		}
+		r.host.After(slice, func() {
+			if r.timerEpoch != epoch || in.decided || len(in.shares) >= r.cfg.FastQuorum() {
+				return
+			}
+			r.emitProof(seq, in, r.cfg.Quorum())
+		})
+	}
+}
+
+// emitProof combines shares into one aggregate proof and broadcasts it.
+func (r *Replica) emitProof(seq uint64, in *instance, limit int) {
+	r.host.Elapse(r.cfg.ThresholdCombine)
+	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
+	for node, sig := range in.shares {
+		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: sig})
+		if len(cert.Sigs) == limit {
+			break
+		}
+	}
+	r.host.BroadcastCN(&Msg{Kind: kindCommitProof, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Data: in.data, Certs: cert.Sigs})
+	r.decide(seq, in, cert)
+}
+
+func (r *Replica) onCommitProof(from int, m *Msg) {
+	// A single aggregate verification regardless of cluster size: SBFT's
+	// headline property.
+	r.host.Elapse(r.cfg.SigVerify)
+	in := r.inst(m.Seq)
+	if in.decided {
+		return
+	}
+	if !in.have {
+		in.digest, in.data, in.have = m.Digest, m.Data, true
+	}
+	if in.digest != m.Digest {
+		return
+	}
+	cert := &types.Certificate{View: m.View, Number: m.Seq, Digest: m.Digest, Sigs: m.Certs}
+	r.decide(m.Seq, in, cert)
+}
+
+func (r *Replica) decide(seq uint64, in *instance, cert *types.Certificate) {
+	if in.decided {
+		return
+	}
+	in.decided = true
+	r.decidedCnt++
+	r.host.Deliver(seq, consensus.Value{Digest: in.digest, Data: in.data}, cert)
+	if r.hasUndecided() {
+		r.armTimer()
+	}
+}
+
+// --- view changes (same skeleton as zyzzyva) ------------------------------
+
+// RequestViewChange implements consensus.Replica.
+func (r *Replica) RequestViewChange() { r.startViewChange(r.view + 1) }
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view && !r.inView {
+		return
+	}
+	r.inView = false
+	r.timerEpoch++
+	var seen []Entry
+	for seq, in := range r.instances {
+		if !in.decided && in.have {
+			seen = append(seen, Entry{Seq: seq, Digest: in.digest, Data: in.data})
+		}
+	}
+	r.host.Elapse(r.cfg.SigSign)
+	vc := &Msg{Kind: kindViewChange, View: newView, Node: r.cfg.Self, Meta: r.host.ViewChangeMeta(), Seen: seen}
+	vc.Sig = r.host.Sign(vcBytes(vc))
+	r.host.BroadcastCN(vc)
+	r.onViewChange(r.cfg.Self, vc)
+	epoch := r.timerEpoch
+	r.host.After(r.cfg.ViewTimeout, func() {
+		if r.timerEpoch == epoch && !r.inView {
+			r.startViewChange(newView + 1)
+		}
+	})
+}
+
+func vcBytes(m *Msg) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(m.Kind))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(m.View>>(8*(7-i))))
+	}
+	buf = append(buf, byte(m.Node))
+	buf = append(buf, m.Meta...)
+	for _, e := range m.Seen {
+		buf = append(buf, e.Digest[:]...)
+	}
+	return buf
+}
+
+func (r *Replica) onViewChange(from int, m *Msg) {
+	if m.View <= r.view {
+		return
+	}
+	if from != r.cfg.Self {
+		r.host.Elapse(r.cfg.SigVerify)
+		if !r.host.VerifyNode(from, vcBytes(m), m.Sig) {
+			return
+		}
+	}
+	set := r.vcs[m.View]
+	if set == nil {
+		set = make(map[int]*Msg)
+		r.vcs[m.View] = set
+	}
+	set[from] = m
+	if len(set) == r.cfg.F+1 && r.inView {
+		if _, mine := set[r.cfg.Self]; !mine {
+			r.startViewChange(m.View)
+		}
+	}
+	if len(set) >= r.cfg.Quorum() && r.cfg.Policy.Leader(m.View) == r.cfg.Self {
+		r.installNewView(m.View, set)
+	}
+}
+
+func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
+	if r.view >= view && r.inView {
+		return
+	}
+	reprop := make(map[uint64]Entry)
+	var metas [][]byte
+	for _, vc := range set {
+		metas = append(metas, vc.Meta)
+		for _, e := range vc.Seen {
+			if _, ok := reprop[e.Seq]; !ok {
+				reprop[e.Seq] = e
+			}
+		}
+	}
+	nv := &Msg{Kind: kindNewView, View: view, Node: r.cfg.Self}
+	r.host.Elapse(r.cfg.SigSign)
+	nv.Sig = r.host.Sign(vcBytes(nv))
+	r.host.BroadcastCN(nv)
+	r.enterView(view, metas)
+	for seq, e := range reprop {
+		if in, ok := r.instances[seq]; ok && in.decided {
+			continue
+		}
+		delete(r.instances, seq)
+		r.proposeAt(seq, consensus.Value{Digest: e.Digest, Data: e.Data})
+		if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+}
+
+func (r *Replica) onNewView(from int, m *Msg) {
+	r.host.Elapse(r.cfg.SigVerify)
+	if m.View < r.view || (m.View == r.view && r.inView) {
+		return
+	}
+	if from != r.cfg.Policy.Leader(m.View) {
+		return
+	}
+	if !r.host.VerifyNode(from, vcBytes(m), m.Sig) {
+		return
+	}
+	var metas [][]byte
+	for _, vc := range r.vcs[m.View] {
+		metas = append(metas, vc.Meta)
+	}
+	r.enterView(m.View, metas)
+}
+
+func (r *Replica) enterView(view uint64, metas [][]byte) {
+	r.view = view
+	r.inView = true
+	r.timerEpoch++
+	for seq, in := range r.instances {
+		if !in.decided {
+			delete(r.instances, seq)
+		} else if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	delete(r.vcs, view)
+	r.host.ViewChanged(view, r.Leader(), metas)
+	if r.IsLeader() {
+		pend := r.pending
+		r.pending = nil
+		for _, v := range pend {
+			r.Propose(v)
+		}
+	}
+}
+
+// --- progress timer --------------------------------------------------------
+
+func (r *Replica) armTimer() {
+	if r.timerArmed || r.cfg.ViewTimeout <= 0 {
+		return
+	}
+	r.timerArmed = true
+	epoch := r.timerEpoch
+	decided := r.decidedCnt
+	r.host.After(r.cfg.ViewTimeout, func() {
+		r.timerArmed = false
+		if r.timerEpoch != epoch || !r.inView {
+			return
+		}
+		if r.decidedCnt == decided && r.hasUndecided() {
+			r.RequestViewChange()
+		} else if r.hasUndecided() {
+			r.armTimer()
+		}
+	})
+}
+
+func (r *Replica) hasUndecided() bool {
+	for _, in := range r.instances {
+		if !in.decided && in.have {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,516 @@
+// Package zyzzyva implements a Zyzzyva-style speculative BFT protocol with
+// the batch optimization the paper applies (§6): the leader orders a batch,
+// replicas speculatively respond, and — following the paper's setup — a
+// designated non-leader collector gathers responses and distributes commit
+// messages for each block.
+//
+// Fast path: 3f+1 matching speculative responses commit in three message
+// delays. Slow path: after a collector timeout, 2f+1 responses form a
+// commit certificate that must be acknowledged by a 2f+1 quorum before
+// delivery (the extra phase Zyzzyva pays under faults).
+package zyzzyva
+
+import (
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Message kinds.
+const (
+	kindOrderReq    = iota // leader → all
+	kindSpecResp           // replica → collector
+	kindCommitFast         // collector → all (3f+1 path)
+	kindCommitCert         // collector → all (2f+1 path)
+	kindLocalCommit        // replica → collector
+	kindFullCommit         // collector → all
+	kindViewChange
+	kindNewView
+)
+
+// Msg is the single wire type for all Zyzzyva messages.
+type Msg struct {
+	Kind   int
+	View   uint64
+	Seq    uint64
+	Node   int
+	Digest crypto.Digest
+	Data   []byte
+	Sig    crypto.Signature
+	Certs  []types.NodeSig
+	Meta   []byte
+	Seen   []Entry
+}
+
+// Entry summarizes an in-flight instance for view changes.
+type Entry struct {
+	Seq    uint64
+	Digest crypto.Digest
+	Data   []byte
+}
+
+// Size implements consensus.Msg.
+func (m *Msg) Size() int {
+	n := 1 + 8 + 8 + 4 + 32 + len(m.Data) + len(m.Sig) + len(m.Meta)
+	n += len(m.Certs) * (4 + 64)
+	for _, e := range m.Seen {
+		n += 8 + 32 + len(e.Data)
+	}
+	return n
+}
+
+type instance struct {
+	digest  crypto.Digest
+	data    []byte
+	have    bool
+	specs   map[int]crypto.Signature // collector: spec responses
+	acks    map[int]crypto.Signature // collector: local commits
+	sentCC  bool
+	decided bool
+}
+
+// Replica is one Zyzzyva consensus node.
+type Replica struct {
+	cfg  consensus.Config
+	host consensus.Host
+
+	view       uint64
+	inView     bool
+	nextSeq    uint64
+	instances  map[uint64]*instance
+	pending    []consensus.Value
+	vcs        map[uint64]map[int]*Msg
+	timerArmed bool
+	timerEpoch uint64
+	decidedCnt uint64
+}
+
+// New creates a Zyzzyva replica.
+func New(cfg consensus.Config, host consensus.Host) *Replica {
+	return &Replica{
+		cfg:       cfg,
+		host:      host,
+		inView:    true,
+		instances: make(map[uint64]*instance),
+		vcs:       make(map[uint64]map[int]*Msg),
+	}
+}
+
+// Name returns the protocol name.
+func (r *Replica) Name() string { return "zyzzyva" }
+
+// View implements consensus.Replica.
+func (r *Replica) View() uint64 { return r.view }
+
+// Leader implements consensus.Replica.
+func (r *Replica) Leader() int { return r.cfg.Policy.Leader(r.view) }
+
+// IsLeader implements consensus.Replica.
+func (r *Replica) IsLeader() bool { return r.Leader() == r.cfg.Self }
+
+// Collector returns the designated response collector for the current view:
+// the non-leader node following the leader.
+func (r *Replica) Collector() int { return (r.Leader() + 1) % r.cfg.N }
+
+// Start implements consensus.Replica.
+func (r *Replica) Start() {}
+
+func (r *Replica) inst(seq uint64) *instance {
+	in, ok := r.instances[seq]
+	if !ok {
+		in = &instance{specs: make(map[int]crypto.Signature), acks: make(map[int]crypto.Signature)}
+		r.instances[seq] = in
+	}
+	return in
+}
+
+// Propose implements consensus.Replica.
+func (r *Replica) Propose(v consensus.Value) {
+	if !r.IsLeader() || !r.inView {
+		r.pending = append(r.pending, v)
+		return
+	}
+	r.proposeAt(r.nextSeq, v)
+	r.nextSeq++
+}
+
+func (r *Replica) proposeAt(seq uint64, v consensus.Value) {
+	in := r.inst(seq)
+	in.digest, in.data, in.have = v.Digest, v.Data, true
+	r.host.Proposed(seq, v)
+	r.host.Elapse(r.cfg.MACCompute)
+	r.host.BroadcastCN(&Msg{Kind: kindOrderReq, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: v.Digest, Data: v.Data})
+	// The leader's own speculative response.
+	r.sendSpec(seq, in)
+	r.armTimer()
+}
+
+func (r *Replica) sendSpec(seq uint64, in *instance) {
+	r.host.Elapse(r.cfg.SigSign)
+	sig := r.host.Sign(types.CertSigningBytes(r.view, seq, in.digest))
+	if r.Collector() == r.cfg.Self {
+		r.acceptSpec(r.cfg.Self, seq, in, sig)
+		return
+	}
+	r.host.Send(r.Collector(), &Msg{Kind: kindSpecResp, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Sig: sig})
+}
+
+// Step implements consensus.Replica.
+func (r *Replica) Step(from int, m consensus.Msg) {
+	msg, ok := m.(*Msg)
+	if !ok {
+		return
+	}
+	switch msg.Kind {
+	case kindOrderReq:
+		r.onOrderReq(from, msg)
+	case kindSpecResp:
+		r.onSpecResp(from, msg)
+	case kindCommitFast, kindFullCommit:
+		r.onCommit(from, msg)
+	case kindCommitCert:
+		r.onCommitCert(from, msg)
+	case kindLocalCommit:
+		r.onLocalCommit(from, msg)
+	case kindViewChange:
+		r.onViewChange(from, msg)
+	case kindNewView:
+		r.onNewView(from, msg)
+	}
+}
+
+func (r *Replica) onOrderReq(from int, m *Msg) {
+	r.host.Elapse(r.cfg.MACVerify)
+	if m.View != r.view || !r.inView || from != r.Leader() {
+		return
+	}
+	in := r.inst(m.Seq)
+	if in.decided {
+		return
+	}
+	if in.have && in.digest != m.Digest {
+		r.RequestViewChange()
+		return
+	}
+	in.digest, in.data, in.have = m.Digest, m.Data, true
+	r.host.Proposed(m.Seq, consensus.Value{Digest: m.Digest, Data: m.Data})
+	r.sendSpec(m.Seq, in)
+	r.armTimer()
+}
+
+func (r *Replica) onSpecResp(from int, m *Msg) {
+	if m.View != r.view || !r.inView || r.Collector() != r.cfg.Self {
+		return
+	}
+	r.host.Elapse(r.cfg.SigVerify)
+	if !r.host.VerifyNode(from, types.CertSigningBytes(m.View, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	in := r.inst(m.Seq)
+	// Spec responses follow the leader's order-request (two hops vs one),
+	// so a response for an unknown or mismatched instance is discarded;
+	// the slow path recovers if the fast quorum never forms.
+	if !in.have || in.digest != m.Digest {
+		return
+	}
+	r.acceptSpec(from, m.Seq, in, m.Sig)
+}
+
+func (r *Replica) acceptSpec(from int, seq uint64, in *instance, sig crypto.Signature) {
+	if in.decided {
+		return
+	}
+	in.specs[from] = sig
+	if len(in.specs) >= r.cfg.FastQuorum() {
+		// Fast path: everyone responded consistently.
+		cert := r.buildCert(seq, in, in.specs, r.cfg.FastQuorum())
+		r.host.BroadcastCN(&Msg{Kind: kindCommitFast, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Data: in.data, Certs: cert.Sigs})
+		r.decide(seq, in, cert)
+		return
+	}
+	if len(in.specs) == r.cfg.Quorum() && !in.sentCC {
+		// Arm the slow-path timer: if the fast quorum does not arrive,
+		// fall back to the two-phase commit-certificate path.
+		epoch := r.timerEpoch
+		slice := r.cfg.ViewTimeout / 4
+		if slice <= 0 {
+			slice = 5 * time.Millisecond
+		}
+		r.host.After(slice, func() {
+			if r.timerEpoch != epoch || in.decided || in.sentCC || len(in.specs) >= r.cfg.FastQuorum() {
+				return
+			}
+			in.sentCC = true
+			cert := r.buildCert(seq, in, in.specs, r.cfg.Quorum())
+			r.host.BroadcastCN(&Msg{Kind: kindCommitCert, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Certs: cert.Sigs})
+			// The collector's own local commit.
+			r.host.Elapse(r.cfg.SigSign)
+			in.acks[r.cfg.Self] = r.host.Sign(types.CertSigningBytes(r.view, seq, in.digest))
+			r.maybeFullCommit(seq, in)
+		})
+	}
+}
+
+func (r *Replica) buildCert(seq uint64, in *instance, sigs map[int]crypto.Signature, limit int) *types.Certificate {
+	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
+	for node, sig := range sigs {
+		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: sig})
+		if len(cert.Sigs) == limit {
+			break
+		}
+	}
+	return cert
+}
+
+func (r *Replica) onCommit(from int, m *Msg) {
+	if from != (r.cfg.Policy.Leader(m.View)+1)%r.cfg.N {
+		return
+	}
+	// Verify the assembled certificate (modeled as one aggregate check).
+	r.host.Elapse(r.cfg.SigVerify)
+	in := r.inst(m.Seq)
+	if in.decided {
+		return
+	}
+	if !in.have {
+		in.digest, in.have = m.Digest, true
+		in.data = m.Data
+	}
+	if in.digest != m.Digest {
+		return
+	}
+	cert := &types.Certificate{View: m.View, Number: m.Seq, Digest: m.Digest, Sigs: m.Certs}
+	r.decide(m.Seq, in, cert)
+}
+
+func (r *Replica) onCommitCert(from int, m *Msg) {
+	if m.View != r.view || !r.inView || from != r.Collector() {
+		return
+	}
+	r.host.Elapse(r.cfg.SigVerify)
+	in := r.inst(m.Seq)
+	if in.decided {
+		return
+	}
+	if !in.have {
+		in.digest, in.have = m.Digest, true
+	}
+	if in.digest != m.Digest {
+		return
+	}
+	// Acknowledge the commit certificate.
+	r.host.Elapse(r.cfg.SigSign)
+	sig := r.host.Sign(types.CertSigningBytes(m.View, m.Seq, m.Digest))
+	r.host.Send(r.Collector(), &Msg{Kind: kindLocalCommit, View: m.View, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest, Sig: sig})
+}
+
+func (r *Replica) onLocalCommit(from int, m *Msg) {
+	if m.View != r.view || !r.inView || r.Collector() != r.cfg.Self {
+		return
+	}
+	r.host.Elapse(r.cfg.SigVerify)
+	if !r.host.VerifyNode(from, types.CertSigningBytes(m.View, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	in := r.inst(m.Seq)
+	if in.digest != m.Digest {
+		return
+	}
+	in.acks[from] = m.Sig
+	r.maybeFullCommit(m.Seq, in)
+}
+
+func (r *Replica) maybeFullCommit(seq uint64, in *instance) {
+	if in.decided || len(in.acks) < r.cfg.Quorum() {
+		return
+	}
+	cert := r.buildCert(seq, in, in.acks, r.cfg.Quorum())
+	r.host.BroadcastCN(&Msg{Kind: kindFullCommit, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Data: in.data, Certs: cert.Sigs})
+	r.decide(seq, in, cert)
+}
+
+func (r *Replica) decide(seq uint64, in *instance, cert *types.Certificate) {
+	if in.decided {
+		return
+	}
+	in.decided = true
+	r.decidedCnt++
+	r.host.Deliver(seq, consensus.Value{Digest: in.digest, Data: in.data}, cert)
+	if r.hasUndecided() {
+		r.armTimer()
+	}
+}
+
+// --- view changes --------------------------------------------------------
+
+// RequestViewChange implements consensus.Replica.
+func (r *Replica) RequestViewChange() { r.startViewChange(r.view + 1) }
+
+func (r *Replica) startViewChange(newView uint64) {
+	if newView <= r.view && !r.inView {
+		return
+	}
+	r.inView = false
+	r.timerEpoch++
+	var seen []Entry
+	for seq, in := range r.instances {
+		if !in.decided && in.have {
+			seen = append(seen, Entry{Seq: seq, Digest: in.digest, Data: in.data})
+		}
+	}
+	r.host.Elapse(r.cfg.SigSign)
+	vc := &Msg{Kind: kindViewChange, View: newView, Node: r.cfg.Self, Meta: r.host.ViewChangeMeta(), Seen: seen}
+	vc.Sig = r.host.Sign(vcBytes(vc))
+	r.host.BroadcastCN(vc)
+	r.onViewChange(r.cfg.Self, vc)
+	epoch := r.timerEpoch
+	r.host.After(r.cfg.ViewTimeout, func() {
+		if r.timerEpoch == epoch && !r.inView {
+			r.startViewChange(newView + 1)
+		}
+	})
+}
+
+func vcBytes(m *Msg) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(m.Kind))
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(m.View>>(8*(7-i))))
+	}
+	buf = append(buf, byte(m.Node))
+	buf = append(buf, m.Meta...)
+	for _, e := range m.Seen {
+		buf = append(buf, e.Digest[:]...)
+	}
+	return buf
+}
+
+func (r *Replica) onViewChange(from int, m *Msg) {
+	if m.View <= r.view {
+		return
+	}
+	if from != r.cfg.Self {
+		r.host.Elapse(r.cfg.SigVerify)
+		if !r.host.VerifyNode(from, vcBytes(m), m.Sig) {
+			return
+		}
+	}
+	set := r.vcs[m.View]
+	if set == nil {
+		set = make(map[int]*Msg)
+		r.vcs[m.View] = set
+	}
+	set[from] = m
+	if len(set) == r.cfg.F+1 && r.inView {
+		if _, mine := set[r.cfg.Self]; !mine {
+			r.startViewChange(m.View)
+		}
+	}
+	if len(set) >= r.cfg.Quorum() && r.cfg.Policy.Leader(m.View) == r.cfg.Self {
+		r.installNewView(m.View, set)
+	}
+}
+
+func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
+	if r.view >= view && r.inView {
+		return
+	}
+	reprop := make(map[uint64]Entry)
+	var metas [][]byte
+	for _, vc := range set {
+		metas = append(metas, vc.Meta)
+		for _, e := range vc.Seen {
+			if _, ok := reprop[e.Seq]; !ok {
+				reprop[e.Seq] = e
+			}
+		}
+	}
+	nv := &Msg{Kind: kindNewView, View: view, Node: r.cfg.Self}
+	r.host.Elapse(r.cfg.SigSign)
+	nv.Sig = r.host.Sign(vcBytes(nv))
+	r.host.BroadcastCN(nv)
+	r.enterView(view, metas)
+	for seq, e := range reprop {
+		if in, ok := r.instances[seq]; ok && in.decided {
+			continue
+		}
+		delete(r.instances, seq)
+		r.proposeAt(seq, consensus.Value{Digest: e.Digest, Data: e.Data})
+		if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+}
+
+func (r *Replica) onNewView(from int, m *Msg) {
+	r.host.Elapse(r.cfg.SigVerify)
+	if m.View < r.view || (m.View == r.view && r.inView) {
+		return
+	}
+	if from != r.cfg.Policy.Leader(m.View) {
+		return
+	}
+	if !r.host.VerifyNode(from, vcBytes(m), m.Sig) {
+		return
+	}
+	var metas [][]byte
+	for _, vc := range r.vcs[m.View] {
+		metas = append(metas, vc.Meta)
+	}
+	r.enterView(m.View, metas)
+}
+
+func (r *Replica) enterView(view uint64, metas [][]byte) {
+	r.view = view
+	r.inView = true
+	r.timerEpoch++
+	for seq, in := range r.instances {
+		if !in.decided {
+			delete(r.instances, seq)
+		} else if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	delete(r.vcs, view)
+	r.host.ViewChanged(view, r.Leader(), metas)
+	if r.IsLeader() {
+		pend := r.pending
+		r.pending = nil
+		for _, v := range pend {
+			r.Propose(v)
+		}
+	}
+}
+
+// --- progress timer --------------------------------------------------------
+
+func (r *Replica) armTimer() {
+	if r.timerArmed || r.cfg.ViewTimeout <= 0 {
+		return
+	}
+	r.timerArmed = true
+	epoch := r.timerEpoch
+	decided := r.decidedCnt
+	r.host.After(r.cfg.ViewTimeout, func() {
+		r.timerArmed = false
+		if r.timerEpoch != epoch || !r.inView {
+			return
+		}
+		if r.decidedCnt == decided && r.hasUndecided() {
+			r.RequestViewChange()
+		} else if r.hasUndecided() {
+			r.armTimer()
+		}
+	})
+}
+
+func (r *Replica) hasUndecided() bool {
+	for _, in := range r.instances {
+		if !in.decided && in.have {
+			return true
+		}
+	}
+	return false
+}

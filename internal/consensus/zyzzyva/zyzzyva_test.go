@@ -1,0 +1,84 @@
+package zyzzyva
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/consensus/constest"
+)
+
+func factory(cfg consensus.Config, host consensus.Host) consensus.Replica {
+	return New(cfg, host)
+}
+
+func TestConformance(t *testing.T) {
+	constest.RunConformance(t, factory, constest.ConformanceOptions{HasCerts: true})
+}
+
+func TestConformanceLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger cluster")
+	}
+	constest.RunConformance(t, factory, constest.ConformanceOptions{N: 7, F: 2, HasCerts: true})
+}
+
+func TestFastPathCertIsFastQuorum(t *testing.T) {
+	c := constest.NewCluster(4, 1, factory, constest.Options{})
+	c.Propose(time.Millisecond, constest.Val("fast"))
+	c.Run(time.Second)
+	for i, n := range c.Nodes {
+		if len(n.Delivered) != 1 {
+			t.Fatalf("node %d delivered %d, want 1", i, len(n.Delivered))
+		}
+		if got := len(n.Delivered[0].Cert.Sigs); got != 4 {
+			t.Fatalf("node %d fast-path cert has %d sigs, want 3f+1=4", i, got)
+		}
+	}
+}
+
+func TestSlowPathWithCrashedReplica(t *testing.T) {
+	// With one replica down the fast quorum (3f+1) is unreachable: the
+	// collector must fall back to the 2f+1 commit-certificate path and
+	// the cluster still decides, at higher latency.
+	c := constest.NewCluster(4, 1, factory, constest.Options{ViewTimeout: 40 * time.Millisecond})
+	victim := 3 // neither leader (0) nor collector (1)
+	c.Sim.At(0, func() {
+		c.Nodes[victim].Endpoint().SetDown(true)
+		c.Nodes[victim].DropOutgoing = true
+	})
+	c.Propose(time.Millisecond, constest.Val("slow"))
+	c.Run(2 * time.Second)
+	for i, n := range c.Nodes {
+		if i == victim {
+			continue
+		}
+		if len(n.Delivered) != 1 {
+			t.Fatalf("node %d delivered %d via slow path, want 1", i, len(n.Delivered))
+		}
+	}
+	// Slow-path latency exceeds the fast-path's ~0.4ms: it waits for the
+	// collector's fallback timer.
+	if at := c.Nodes[0].Delivered[0].At; at < 5*time.Millisecond {
+		t.Fatalf("slow-path delivery at %v; expected to pay the fallback timer", at)
+	}
+}
+
+func TestFastPathLatencyBeatsSlowPath(t *testing.T) {
+	fast := constest.NewCluster(4, 1, factory, constest.Options{})
+	fast.Propose(time.Millisecond, constest.Val("v"))
+	fast.Run(time.Second)
+	fastAt := fast.Nodes[2].Delivered[0].At
+
+	slow := constest.NewCluster(4, 1, factory, constest.Options{ViewTimeout: 40 * time.Millisecond})
+	slow.Sim.At(0, func() {
+		slow.Nodes[3].Endpoint().SetDown(true)
+		slow.Nodes[3].DropOutgoing = true
+	})
+	slow.Propose(time.Millisecond, constest.Val("v"))
+	slow.Run(2 * time.Second)
+	slowAt := slow.Nodes[2].Delivered[0].At
+	if fastAt >= slowAt {
+		t.Fatalf("fast path (%v) not faster than slow path (%v)", fastAt, slowAt)
+	}
+}

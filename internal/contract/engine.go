@@ -1,0 +1,156 @@
+// Package contract implements the smart-contract execution engine shared by
+// BIDL and the baseline frameworks: contracts read and write world state
+// through a TxContext that records an HLF-style read-write set, and the
+// engine supports deliberately non-deterministic contracts (§3.1: BIDL must
+// support non-determinism, e.g. caused by data races).
+package contract
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// ErrAbort is the sentinel contracts return (wrapped) to abort a
+// transaction for application reasons.
+var ErrAbort = errors.New("contract: aborted")
+
+// StateView is any readable state: committed State, a speculative Overlay,
+// or an endorsement snapshot.
+type StateView interface {
+	Get(key string) (val []byte, ver ledger.Version, ok bool)
+}
+
+// TxContext is the API a contract sees during one invocation. Reads record
+// observed versions; writes stage into the read-write set with
+// read-your-writes semantics inside the transaction.
+type TxContext struct {
+	view   StateView
+	rw     ledger.RWSet
+	staged map[string][]byte
+	dels   map[string]bool
+	nondet *rand.Rand
+}
+
+// NewTxContext creates a context reading from view. nondet, when non-nil, is
+// the node-local randomness a non-deterministic contract observes; correct
+// deterministic contracts never touch it.
+func NewTxContext(view StateView, nondet *rand.Rand) *TxContext {
+	return &TxContext{
+		view:   view,
+		staged: make(map[string][]byte),
+		dels:   make(map[string]bool),
+		nondet: nondet,
+	}
+}
+
+// GetState reads a key, recording the read version for MVCC validation.
+func (c *TxContext) GetState(key string) ([]byte, bool) {
+	if c.dels[key] {
+		return nil, false
+	}
+	if v, ok := c.staged[key]; ok {
+		return v, true
+	}
+	val, ver, ok := c.view.Get(key)
+	c.rw.Reads = append(c.rw.Reads, ledger.Read{Key: key, Ver: ver, Existed: ok})
+	return val, ok
+}
+
+// PutState stages a write.
+func (c *TxContext) PutState(key string, val []byte) {
+	delete(c.dels, key)
+	c.staged[key] = val
+}
+
+// DelState stages a deletion.
+func (c *TxContext) DelState(key string) {
+	delete(c.staged, key)
+	c.dels[key] = true
+}
+
+// Nondet exposes node-local randomness. Using it makes the transaction
+// non-deterministic across nodes — exactly the §6.3 experiment's contract.
+// It panics if the executing node supplied no source.
+func (c *TxContext) Nondet() *rand.Rand {
+	if c.nondet == nil {
+		panic("contract: non-deterministic contract executed without a randomness source")
+	}
+	return c.nondet
+}
+
+// finish seals the read-write set. Writes are emitted in sorted key order so
+// result digests are canonical.
+func (c *TxContext) finish(aborted bool) *ledger.RWSet {
+	rw := c.rw
+	rw.Aborted = aborted
+	if !aborted {
+		keys := make([]string, 0, len(c.staged)+len(c.dels))
+		for k := range c.staged {
+			keys = append(keys, k)
+		}
+		for k := range c.dels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if c.dels[k] {
+				rw.Writes = append(rw.Writes, ledger.Write{Key: k, Delete: true})
+			} else {
+				rw.Writes = append(rw.Writes, ledger.Write{Key: k, Val: c.staged[k]})
+			}
+		}
+	}
+	return &rw
+}
+
+// Contract is a deployed smart contract.
+type Contract interface {
+	// Name is the contract's registry key.
+	Name() string
+	// Invoke executes fn with args against the context. Returning an
+	// error aborts the transaction (its writes are discarded).
+	Invoke(ctx *TxContext, fn string, args [][]byte) error
+}
+
+// Registry holds deployed contracts and executes transactions against them.
+type Registry struct {
+	contracts map[string]Contract
+}
+
+// NewRegistry returns an empty contract registry.
+func NewRegistry() *Registry {
+	return &Registry{contracts: make(map[string]Contract)}
+}
+
+// Deploy installs a contract. Re-deploying a name replaces it.
+func (r *Registry) Deploy(c Contract) { r.contracts[c.Name()] = c }
+
+// Get returns the named contract, or nil.
+func (r *Registry) Get(name string) Contract { return r.contracts[name] }
+
+// Execute runs tx against view and returns its read-write set. Unknown
+// contracts or functions, and contract errors, yield an aborted result with
+// no writes — never a panic, since transactions are adversarial inputs.
+func (r *Registry) Execute(view StateView, tx *types.Transaction, nondet *rand.Rand) *ledger.RWSet {
+	c := r.contracts[tx.Contract]
+	ctx := NewTxContext(view, nondet)
+	if c == nil {
+		return ctx.finish(true)
+	}
+	err := safeInvoke(c, ctx, tx.Fn, tx.Args)
+	return ctx.finish(err != nil)
+}
+
+func safeInvoke(c Contract, ctx *TxContext, fn string, args [][]byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("contract %s panicked: %v", c.Name(), r)
+		}
+	}()
+	return c.Invoke(ctx, fn, args)
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/consensus/hotstuff"
+	"github.com/bidl-framework/bidl/internal/consensus/pbft"
+	"github.com/bidl-framework/bidl/internal/consensus/sbft"
+	"github.com/bidl-framework/bidl/internal/consensus/zyzzyva"
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// cnIdentity names consensus node i in the membership registry.
+func cnIdentity(i int) crypto.Identity {
+	return crypto.Identity("cn" + strconv.Itoa(i))
+}
+
+// orgName returns organization o's registry name ("org<o>").
+func orgName(o int) string { return "org" + strconv.Itoa(o) }
+
+// orgIndex parses an organization name back to its index (-1 if malformed).
+func orgIndex(name string) int {
+	if len(name) < 4 || name[:3] != "org" {
+		return -1
+	}
+	v, err := strconv.Atoi(name[3:])
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// Cluster is a complete simulated BIDL deployment: consensus nodes with
+// co-located sequencers, organizations of normal nodes, and clients, wired
+// over a simnet datacenter.
+type Cluster struct {
+	Cfg       Config
+	Sim       *simnet.Sim
+	Net       *simnet.Network
+	Scheme    crypto.Scheme
+	Registry  *contract.Registry
+	Collector *metrics.Collector
+
+	ConsNodes  []*ConsNode
+	Sequencers []*SequencerNode
+	Orgs       [][]*NormalNode
+	Clients    map[crypto.Identity]*ClientNode
+
+	cnIndex   map[simnet.NodeID]int
+	clientEps map[crypto.Identity]simnet.NodeID
+	policy    consensus.LeaderPolicy
+	keyOwner  contract.KeyOwnerFunc
+
+	violations []string
+}
+
+// NewCluster builds a BIDL deployment from cfg. Client identities must be
+// registered afterwards via RegisterClients before transactions from them
+// verify.
+func NewCluster(cfg Config) *Cluster {
+	if cfg.NumConsensus == 0 {
+		cfg.NumConsensus = 3*cfg.F + 1
+	}
+	if cfg.F == 0 && cfg.NumConsensus >= 4 {
+		cfg.F = (cfg.NumConsensus - 1) / 3
+	}
+	sim := simnet.NewSim(cfg.Seed)
+	net := simnet.NewNetwork(sim, cfg.Topology)
+	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
+	reg := contract.NewRegistry()
+	reg.Deploy(contract.SmallBank{})
+
+	seed := crypto.Hash([]byte(fmt.Sprintf("leader-rotation-%d", cfg.Seed)))
+	c := &Cluster{
+		Cfg:       cfg,
+		Sim:       sim,
+		Net:       net,
+		Scheme:    scheme,
+		Registry:  reg,
+		Collector: metrics.NewCollector(),
+		Clients:   make(map[crypto.Identity]*ClientNode),
+		cnIndex:   make(map[simnet.NodeID]int),
+		clientEps: make(map[crypto.Identity]simnet.NodeID),
+		// BIDL's unpredictable epoch rotation (§4.6).
+		policy:   consensus.RandomEpoch{N: cfg.NumConsensus, Seed: seed},
+		keyOwner: cfg.KeyOwner,
+	}
+	if c.keyOwner == nil {
+		c.keyOwner = contract.SmallBankKeyOwner(cfg.NumOrgs)
+	}
+
+	dc := func(i int) int {
+		if cfg.NumDCs <= 1 {
+			return 0
+		}
+		return i % cfg.NumDCs
+	}
+
+	consCfg := consensus.Config{
+		N: cfg.NumConsensus, F: cfg.F,
+		Policy:           c.policy,
+		ViewTimeout:      cfg.ViewTimeout,
+		SigVerify:        cfg.Costs.SigVerify,
+		SigSign:          cfg.Costs.SigSign,
+		MACVerify:        cfg.Costs.MACVerify,
+		MACCompute:       cfg.Costs.MACCompute,
+		ThresholdSign:    cfg.Costs.ThresholdSign,
+		ThresholdCombine: cfg.Costs.ThresholdCombine,
+	}
+
+	node := 0
+	// Consensus nodes + their co-located sequencers.
+	for i := 0; i < cfg.NumConsensus; i++ {
+		cn := newConsNode(c, i, i%cfg.NumOrgs)
+		cn.ep = net.Register(fmt.Sprintf("cn%d", i), dc(node), cn)
+		node++
+		c.cnIndex[cn.ep.ID()] = i
+		scheme.Register(cnIdentity(i))
+		rcfg := consCfg
+		rcfg.Self = i
+		cn.replica = newReplica(cfg.Protocol, rcfg, cn)
+		c.ConsNodes = append(c.ConsNodes, cn)
+
+		seqNode := &SequencerNode{c: c, idx: i}
+		// The sequencer shares the consensus node's server (same DC).
+		seqNode.ep = net.Register(fmt.Sprintf("seq%d", i), cn.ep.DC(), seqNode)
+		c.Sequencers = append(c.Sequencers, seqNode)
+
+		net.Join(groupTxns, cn.ep.ID())
+		net.Join(groupBlocks, cn.ep.ID())
+	}
+
+	// Organizations of normal nodes.
+	for o := 0; o < cfg.NumOrgs; o++ {
+		scheme.Register(crypto.Identity(orgName(o)))
+		var orgNodes []*NormalNode
+		for j := 0; j < cfg.NormalPerOrg; j++ {
+			nn := newNormalNode(c, o, j, cfg.Seed*1_000_003+int64(o*64+j))
+			nn.ep = net.Register(fmt.Sprintf("%s-nn%d", orgName(o), j), dc(node), nn)
+			node++
+			net.Join(groupTxns, nn.ep.ID())
+			net.Join(groupBlocks, nn.ep.ID())
+			net.Join(groupPersist, nn.ep.ID())
+			orgNodes = append(orgNodes, nn)
+		}
+		c.Orgs = append(c.Orgs, orgNodes)
+	}
+	return c
+}
+
+// newReplica instantiates the configured BFT protocol.
+func newReplica(name string, cfg consensus.Config, host consensus.Host) consensus.Replica {
+	switch name {
+	case ProtoHotStuff:
+		return hotstuff.New(cfg, host)
+	case ProtoZyzzyva:
+		return zyzzyva.New(cfg, host)
+	case ProtoSBFT:
+		return sbft.New(cfg, host)
+	default:
+		return pbft.New(cfg, host)
+	}
+}
+
+// RegisterClients creates client endpoints for the given identities.
+// Identities must already exist in the scheme (the workload generator
+// registers them).
+func (c *Cluster) RegisterClients(ids []crypto.Identity) {
+	for _, id := range ids {
+		if _, ok := c.Clients[id]; ok {
+			continue
+		}
+		cl := &ClientNode{c: c, id: id, pending: make(map[types.TxID]*types.Transaction)}
+		cl.ep = c.Net.Register("client-"+string(id), 0, cl)
+		c.Clients[id] = cl
+		c.clientEps[id] = cl.ep.ID()
+	}
+}
+
+// Prepopulate applies fn to every normal node's committed state (workload
+// account seeding).
+func (c *Cluster) Prepopulate(fn func(*ledger.State)) {
+	for _, org := range c.Orgs {
+		for _, nn := range org {
+			fn(nn.base)
+		}
+	}
+}
+
+// SubmitAt schedules transactions for submission by their own clients at
+// virtual time at.
+func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
+	byClient := make(map[crypto.Identity][]*types.Transaction)
+	var order []crypto.Identity
+	for _, tx := range txns {
+		if _, ok := byClient[tx.Client]; !ok {
+			order = append(order, tx.Client)
+		}
+		byClient[tx.Client] = append(byClient[tx.Client], tx)
+	}
+	c.Sim.At(at, func() {
+		for _, id := range order {
+			cl, ok := c.Clients[id]
+			if !ok {
+				continue
+			}
+			ctx := simnet.NewInjectedContext(c.Net, cl.ep)
+			cl.submit(ctx, byClient[id])
+		}
+	})
+}
+
+// Run advances the simulation to absolute virtual time t.
+func (c *Cluster) Run(t time.Duration) { c.Sim.RunUntil(t) }
+
+// leaderIdx returns the consensus cluster's current leader: the leader of
+// the highest view any consensus node occupies.
+func (c *Cluster) leaderIdx() int {
+	var hi uint64
+	leader := 0
+	for _, cn := range c.ConsNodes {
+		if v := cn.replica.View(); v >= hi {
+			hi = v
+			leader = cn.replica.Leader()
+		}
+	}
+	return leader
+}
+
+// LeaderIndex exposes the current leader for tests and attacks.
+func (c *Cluster) LeaderIndex() int { return c.leaderIdx() }
+
+// safetyViolation records an invariant breach detected during simulation.
+func (c *Cluster) safetyViolation(msg string) {
+	c.violations = append(c.violations, msg)
+}
+
+// CheckSafety validates the paper's safety guarantee across the whole
+// deployment: all correct nodes hold prefix-consistent ledgers, and normal
+// nodes within an organization that reached the same height hold identical
+// world states.
+func (c *Cluster) CheckSafety() error {
+	if len(c.violations) > 0 {
+		return fmt.Errorf("core: %d runtime safety violations, first: %s", len(c.violations), c.violations[0])
+	}
+	// Ledger prefix consistency across consensus nodes.
+	for i := 1; i < len(c.ConsNodes); i++ {
+		if !c.ConsNodes[0].blocks.CommonPrefixEqual(c.ConsNodes[i].blocks) {
+			return fmt.Errorf("core: consensus nodes 0 and %d diverge", i)
+		}
+	}
+	// Ledger prefix consistency across normal nodes (against CN 0).
+	ref := c.ConsNodes[0].blocks
+	for o, org := range c.Orgs {
+		for j, nn := range org {
+			if !ref.CommonPrefixEqual(nn.blocks) {
+				return fmt.Errorf("core: normal node %s/%d ledger diverges", orgName(o), j)
+			}
+		}
+	}
+	// Intra-org state agreement at equal heights.
+	for o, org := range c.Orgs {
+		for j := 1; j < len(org); j++ {
+			if org[0].commitHeight != org[j].commitHeight {
+				continue
+			}
+			if org[0].base.Digest() != org[j].base.Digest() {
+				return fmt.Errorf("core: org %s nodes 0 and %d state diverge at height %d",
+					orgName(o), j, org[0].commitHeight)
+			}
+		}
+	}
+	return nil
+}
+
+// AttachAdversary registers an extra endpoint in datacenter dc, joined to
+// the transaction multicast group so it observes sequencer traffic and can
+// broadcast crafted transactions (the §6.2 malicious broadcaster). The
+// adversary is NOT a member: it holds no registered identity.
+func (c *Cluster) AttachAdversary(name string, dc int, h simnet.Handler) *simnet.Endpoint {
+	ep := c.Net.Register(name, dc, h)
+	c.Net.Join(groupTxns, ep.ID())
+	return ep
+}
+
+// TxnGroup names the sequencer multicast group (for adversaries).
+func (c *Cluster) TxnGroup() string { return groupTxns }
+
+// TotalCommitHeight returns the minimum commit height across normal nodes.
+func (c *Cluster) TotalCommitHeight() uint64 {
+	min := ^uint64(0)
+	for _, org := range c.Orgs {
+		for _, nn := range org {
+			if nn.commitHeight < min {
+				min = nn.commitHeight
+			}
+		}
+	}
+	if min == ^uint64(0) {
+		return 0
+	}
+	return min
+}

@@ -1,0 +1,944 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/consensus"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Multicast group names.
+const (
+	groupTxns    = "bidl/txns"    // sequencer multicast: all CNs + NNs
+	groupBlocks  = "bidl/blocks"  // block dissemination: all NNs + CNs
+	groupPersist = "bidl/persist" // PERSIST echoes: all NNs
+)
+
+// storedResult is a consensus node's localStore() record: at most one
+// result vector per sequence number (§4.4, Lemma 5.2).
+type storedResult struct {
+	entry      ResultEntry
+	vecDigest  crypto.Digest
+	consistent bool
+	resultDig  crypto.Digest
+}
+
+// deliveredBlock is an agreed-but-not-yet-processed consensus decision.
+type deliveredBlock struct {
+	seqs   []uint64
+	hashes []types.TxID
+	cert   *types.Certificate
+	at     time.Duration
+}
+
+// ConsNode is one BIDL consensus node: it hosts the blackbox BFT replica
+// (Phase 3), forms block proposals from sequenced transactions, assembles
+// and disseminates agreed blocks, echoes PERSIST messages (Phase 4-2), and
+// shepherds the workflow (§4.5–§4.6).
+type ConsNode struct {
+	c   *Cluster
+	idx int
+	org int
+	ep  *simnet.Endpoint
+	ctx *simnet.Context
+
+	replica consensus.Replica
+
+	pool *txPool
+	// auth records the sequence assignments received from this node's own
+	// co-located sequencer: the leader proposes exactly these (Def 4.1
+	// makes the proposal authoritative), never pool entries that a racing
+	// broadcaster planted at future slots.
+	auth map[uint64]types.TxID
+	// watermark: sequence numbers <= watermark have been proposed (or
+	// abandoned to an older leadership term).
+	watermark  uint64
+	maxSeen    uint64
+	timerArmed bool
+
+	// delivered consensus decisions by block number; chainHeight is the
+	// next block number to process.
+	delivered   map[uint64]*deliveredBlock
+	chainHeight uint64
+	blocks      *ledger.BlockStore
+	// agreed maps sequence number → agreed transaction hash; agreedView
+	// records the view each sequence was agreed in (shepherd accounting).
+	// proposedHash records leader proposals pre-agreement: result vectors
+	// matching a proposal persist immediately (Algo 1 line 17), which is
+	// why the persist round is masked by the consensus phase (§4.4).
+	agreed       map[uint64]types.TxID
+	agreedView   map[uint64]uint64
+	proposedHash map[uint64]types.TxID
+	// agreedHash is the set of hashes in agreed blocks.
+	agreedHash map[types.TxID]bool
+	// proposeTime records when this node proposed each ordering digest
+	// (leader-side consensus latency, Table 3 P1).
+	proposeTime map[crypto.Digest]time.Duration
+
+	// persist protocol state.
+	resultsBuf map[uint64][]ResultEntry
+	persisted  map[uint64]*storedResult
+	persistOut []PersistEntry
+	persistArm bool
+
+	// shepherding state (§4.5/§4.6).
+	suspects    map[crypto.Identity]map[int]bool
+	maliceVotes map[crypto.Identity]bool
+	denylist    map[crypto.Identity]bool
+	viewConf    int // conflicts observed this view
+	viewTotal   int // transactions agreed this view
+	viewMis     int // result mismatches this view
+	vcRequested bool
+
+	// watchlist holds client-retransmitted transactions pending the §4.5
+	// liveness check.
+	watch map[types.TxID]bool
+}
+
+// Endpoint returns the node's simnet endpoint.
+func (n *ConsNode) Endpoint() *simnet.Endpoint { return n.ep }
+
+// Replica exposes the hosted consensus replica (tests and attacks).
+func (n *ConsNode) Replica() consensus.Replica { return n.replica }
+
+// DebugSuspects summarizes the suspect list (diagnostics).
+func (n *ConsNode) DebugSuspects() string {
+	out := ""
+	for c, set := range n.suspects {
+		out += fmt.Sprintf("%s:%d ", c, len(set))
+	}
+	return out
+}
+
+// DebugMalice returns local malice verdicts (diagnostics).
+func (n *ConsNode) DebugMalice() []crypto.Identity {
+	var out []crypto.Identity
+	for c := range n.maliceVotes {
+		out = append(out, c)
+	}
+	return out
+}
+
+// DebugHasPersist reports whether this node stored a persist record for seq.
+func (n *ConsNode) DebugHasPersist(seq uint64) bool {
+	_, ok := n.persisted[seq]
+	return ok
+}
+
+// ChainHeight returns the number of processed agreed blocks.
+func (n *ConsNode) ChainHeight() uint64 { return n.chainHeight }
+
+// Denylist returns the node's current denylist (test inspection).
+func (n *ConsNode) Denylist() map[crypto.Identity]bool { return n.denylist }
+
+func newConsNode(c *Cluster, idx, org int) *ConsNode {
+	return &ConsNode{
+		c:            c,
+		idx:          idx,
+		org:          org,
+		pool:         newTxPool(),
+		auth:         make(map[uint64]types.TxID),
+		delivered:    make(map[uint64]*deliveredBlock),
+		blocks:       ledger.NewBlockStore(),
+		agreed:       make(map[uint64]types.TxID),
+		agreedView:   make(map[uint64]uint64),
+		proposedHash: make(map[uint64]types.TxID),
+		agreedHash:   make(map[types.TxID]bool),
+		proposeTime:  make(map[crypto.Digest]time.Duration),
+		resultsBuf:   make(map[uint64][]ResultEntry),
+		persisted:    make(map[uint64]*storedResult),
+		suspects:     make(map[crypto.Identity]map[int]bool),
+		maliceVotes:  make(map[crypto.Identity]bool),
+		denylist:     make(map[crypto.Identity]bool),
+		watch:        make(map[types.TxID]bool),
+	}
+}
+
+// OnStart implements simnet.Starter: the view-0 leader activates its
+// sequencer, and every consensus node arms the chain-status ticker that
+// lets normal nodes recover lost block disseminations.
+func (n *ConsNode) OnStart(ctx *simnet.Context) {
+	n.bind(ctx, func() {
+		n.replica.Start()
+		if n.replica.IsLeader() {
+			n.activateSequencer(0)
+		}
+		n.statusTick()
+	})
+}
+
+// statusTick periodically advertises the processed chain height (leader
+// only) so normal nodes that lost a BlockMsg can fetch it back.
+func (n *ConsNode) statusTick() {
+	interval := 2 * n.c.Cfg.BlockTimeout
+	if interval <= 0 {
+		interval = 20 * time.Millisecond
+	}
+	n.host().After(interval, func() {
+		if n.replica.IsLeader() && n.chainHeight > 0 {
+			n.ctx.Multicast(groupBlocks, &ChainStatus{Height: n.chainHeight})
+		}
+		n.statusTick()
+	})
+}
+
+// bind makes ctx current for the duration of fn.
+func (n *ConsNode) bind(ctx *simnet.Context, fn func()) {
+	prev := n.ctx
+	n.ctx = ctx
+	defer func() { n.ctx = prev }()
+	fn()
+}
+
+// OnMessage implements simnet.Handler.
+func (n *ConsNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	n.bind(ctx, func() {
+		// Concrete BIDL messages first: consensus.Msg is satisfied by any
+		// sized message, so it must be the fallback case.
+		switch m := msg.(type) {
+		case *SeqBatch:
+			n.onSeqBatchFrom(from, m)
+		case *ResultMsg:
+			n.onResults(m)
+		case *FetchReq:
+			n.onFetch(from, m)
+		case *FetchResp:
+			n.onFetchResp(m)
+		case *RelayBatch:
+			n.onClientRelay(m)
+		case *BlockFetchReq:
+			n.onBlockFetch(from, m)
+		case *PersistFetchReq:
+			n.onPersistFetch(from, m)
+		case *ChainStatus:
+			// Peers' height advertisements; consensus nodes track their
+			// own chain via agreement.
+		case *BlockMsg:
+			n.onBlockMsg(m)
+		case consensus.Msg:
+			if idx, ok := n.c.cnIndex[from]; ok {
+				n.replica.Step(idx, m)
+			}
+		}
+	})
+}
+
+// --- Phase 2 ingestion ----------------------------------------------------
+
+// onSeqBatchFrom ingests sequenced transactions. Batches from this node's
+// own co-located sequencer are authoritative: the leader proposes what its
+// sequencer actually assigned (Def 4.1 makes the proposal the reference),
+// so a racing broadcaster cannot poison the proposal itself — only other
+// nodes' speculation.
+func (n *ConsNode) onSeqBatchFrom(from simnet.NodeID, m *SeqBatch) {
+	authoritative := from == n.c.Sequencers[n.idx].ep.ID()
+	for _, st := range m.Txns {
+		// Replay check: one SHA-256 over the ~1KB payload.
+		n.ctx.Elapse(n.c.Cfg.Costs.Hash(st.Tx.Size()))
+		if n.denylist[st.Tx.Client] {
+			continue
+		}
+		if st.Seq > n.maxSeen {
+			n.maxSeen = st.Seq
+		}
+		if authoritative {
+			n.pool.replace(st.Seq, st.Tx)
+			n.auth[st.Seq] = st.Tx.ID()
+			continue
+		}
+		res := n.pool.add(st.Seq, st.Tx)
+		if res == poolDupSeq && n.agreedHash[st.Tx.ID()] {
+			// Agreed transactions evict crafted squatters.
+			n.pool.replace(st.Seq, st.Tx)
+			res = poolAdded
+		}
+		switch res {
+		case poolAdded:
+		case poolDupSeq:
+			// Someone multicast a different transaction under an
+			// occupied sequence number: a conflict precursor. The
+			// denylist acts on proposal-time conflicts (Def 4.1);
+			// here the first-received transaction simply wins.
+			n.c.Collector.Conflicts++
+		case poolDupHash:
+			continue
+		}
+	}
+	if n.replica.IsLeader() {
+		n.maybePropose()
+	}
+}
+
+// pooledAbove returns the sorted sequencer-assigned sequence numbers above
+// the watermark. Holes (lost sequencer batches) are tolerated: blocks carry
+// explicit sequence lists, and late arrivals below the watermark are
+// recovered via client retransmission and re-sequencing.
+func (n *ConsNode) pooledAbove() []uint64 {
+	var seqs []uint64
+	for s := range n.auth {
+		if s > n.watermark {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// maybePropose forms block proposals from pooled sequence numbers above the
+// watermark (Phase 3 start, Algo 1 line 8). Full blocks propose
+// immediately; partial blocks wait for BlockTimeout.
+func (n *ConsNode) maybePropose() {
+	avail := n.pooledAbove()
+	for len(avail) >= n.c.Cfg.BlockSize {
+		batch := avail[:n.c.Cfg.BlockSize]
+		avail = avail[n.c.Cfg.BlockSize:]
+		n.proposeSeqs(batch)
+	}
+	if len(avail) > 0 && !n.timerArmed {
+		n.timerArmed = true
+		mark := n.watermark
+		n.host().After(n.c.Cfg.BlockTimeout, func() {
+			n.timerArmed = false
+			if !n.replica.IsLeader() {
+				return
+			}
+			if n.watermark == mark {
+				if rest := n.pooledAbove(); len(rest) > 0 {
+					if len(rest) > n.c.Cfg.BlockSize {
+						rest = rest[:n.c.Cfg.BlockSize]
+					}
+					n.proposeSeqs(rest)
+				}
+			}
+			n.maybePropose()
+		})
+	}
+}
+
+func (n *ConsNode) proposeSeqs(seqs []uint64) {
+	hashes := make([]types.TxID, len(seqs))
+	for i, s := range seqs {
+		hashes[i] = n.auth[s]
+		delete(n.auth, s)
+	}
+	n.watermark = seqs[len(seqs)-1]
+	n.propose(seqs, hashes)
+}
+
+func (n *ConsNode) propose(seqs []uint64, hashes []types.TxID) {
+	ordering := types.EncodeOrdering(seqs, hashes)
+	data := ordering
+	if n.c.Cfg.ConsensusOnPayload {
+		// Opt-disabled mode: the proposal carries full payloads, so the
+		// PROPOSE message is ~1 KB per transaction instead of 40 B.
+		total := 0
+		for _, s := range seqs {
+			if tx, ok := n.pool.at(s); ok {
+				total += tx.Size()
+			}
+		}
+		data = append(append([]byte{}, ordering...), make([]byte, total)...)
+	}
+	// Hash the proposal content.
+	n.ctx.Elapse(n.c.Cfg.Costs.Hash(len(data)) + n.c.Cfg.Costs.BlockOverhead)
+	v := consensus.Value{Digest: types.OrderingDigest(ordering), Data: data}
+	n.proposeTime[v.Digest] = n.ctx.Now()
+	n.replica.Propose(v)
+}
+
+// --- consensus.Host --------------------------------------------------------
+
+func (n *ConsNode) host() *ConsNode { return n }
+
+// Send implements consensus.Host.
+func (n *ConsNode) Send(to int, m consensus.Msg) {
+	if to == n.idx {
+		n.replica.Step(n.idx, m)
+		return
+	}
+	n.ctx.Send(n.c.ConsNodes[to].ep.ID(), m)
+}
+
+// BroadcastCN implements consensus.Host.
+func (n *ConsNode) BroadcastCN(m consensus.Msg) {
+	for i, peer := range n.c.ConsNodes {
+		if i == n.idx {
+			continue
+		}
+		n.ctx.Send(peer.ep.ID(), m)
+	}
+}
+
+// After implements consensus.Host.
+func (n *ConsNode) After(d time.Duration, fn func()) {
+	n.ctx.After(d, func(c2 *simnet.Context) {
+		n.bind(c2, fn)
+	})
+}
+
+// Elapse implements consensus.Host.
+func (n *ConsNode) Elapse(d time.Duration) { n.ctx.Elapse(d) }
+
+// Sign implements consensus.Host.
+func (n *ConsNode) Sign(data []byte) crypto.Signature {
+	sig, err := n.c.Scheme.Sign(cnIdentity(n.idx), data)
+	if err != nil {
+		panic(err)
+	}
+	return sig
+}
+
+// VerifyNode implements consensus.Host.
+func (n *ConsNode) VerifyNode(node int, data []byte, sig crypto.Signature) bool {
+	return n.c.Scheme.Verify(cnIdentity(node), data, sig)
+}
+
+// RandInt implements consensus.Host.
+func (n *ConsNode) RandInt(m int) int { return n.c.Sim.Rand().Intn(m) }
+
+// Proposed implements consensus.Host: record the leader's proposal so
+// matching result vectors can persist without waiting for agreement.
+func (n *ConsNode) Proposed(seq uint64, v consensus.Value) {
+	seqs, hashes, err := decodeOrderingPrefix(v.Data)
+	if err != nil {
+		return
+	}
+	for i, s := range seqs {
+		if _, ok := n.proposedHash[s]; !ok {
+			n.proposedHash[s] = hashes[i]
+		}
+	}
+	// Evaluate result vectors that were waiting for a proposal.
+	for _, s := range seqs {
+		if buf, ok := n.resultsBuf[s]; ok {
+			delete(n.resultsBuf, s)
+			for i := range buf {
+				n.evaluateResult(buf[i])
+			}
+		}
+	}
+}
+
+// Deliver implements consensus.Host: a block ordering was agreed.
+func (n *ConsNode) Deliver(seq uint64, v consensus.Value, cert *types.Certificate) {
+	seqs, hashes, err := decodeOrderingPrefix(v.Data)
+	if err != nil {
+		return
+	}
+	if at, ok := n.proposeTime[v.Digest]; ok {
+		n.c.Collector.Phase("consensus", n.ctx.Now()-at)
+		delete(n.proposeTime, v.Digest)
+	}
+	n.delivered[seq] = &deliveredBlock{seqs: seqs, hashes: hashes, cert: cert, at: n.ctx.Now()}
+	for {
+		blk, ok := n.delivered[n.chainHeight]
+		if !ok {
+			return
+		}
+		n.processBlock(n.chainHeight, blk)
+		delete(n.delivered, n.chainHeight)
+		n.chainHeight++
+	}
+}
+
+// decodeOrderingPrefix decodes an ordering that may be followed by payload
+// bytes (ConsensusOnPayload mode).
+func decodeOrderingPrefix(data []byte) ([]uint64, []types.TxID, error) {
+	seqs, hashes, err := types.DecodeOrdering(data)
+	if err == nil {
+		return seqs, hashes, nil
+	}
+	if len(data) < 4 {
+		return nil, nil, err
+	}
+	count := int(uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]))
+	end := 4 + count*40
+	if end > len(data) {
+		return nil, nil, err
+	}
+	return types.DecodeOrdering(data[:end])
+}
+
+// processBlock handles one agreed block in chain order.
+func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
+	cfg := n.c.Cfg
+	leaderOfBlock := n.c.policy.Leader(blk.cert.View)
+
+	invalid := 0
+	sampled := 0
+	currentView := blk.cert.View == n.replica.View()
+	for i, s := range blk.seqs {
+		h := blk.hashes[i]
+		n.agreed[s] = h
+		n.agreedView[s] = blk.cert.View
+		n.agreedHash[h] = true
+		delete(n.watch, h)
+		if currentView {
+			n.viewTotal++
+		}
+
+		// Def 4.1 conflict detection: local Phase-2 transaction at this
+		// sequence number differs from the agreed one.
+		if local, ok := n.pool.at(s); ok && local.ID() != h {
+			n.c.Collector.Conflicts++
+			if currentView {
+				n.viewConf++
+			}
+			// A displaced transaction that was agreed under another
+			// sequence number is a re-sequencing artifact, not a
+			// crafted conflict: suspecting its client would be a
+			// false positive (§5.2).
+			if !n.agreedHash[local.ID()] {
+				n.suspect(local.Client, leaderOfBlock)
+			}
+			n.pool.drop(s)
+		}
+		// Sample-verify payloads to catch a garbage-proposing leader
+		// (Table 4 S2).
+		if cfg.SampleVerify > 0 && sampled < cfg.SampleVerify {
+			if tx, ok := n.pool.byID(h); ok {
+				sampled++
+				n.ctx.Elapse(cfg.Costs.SigVerify)
+				if !tx.VerifySig(n.c.Scheme) {
+					invalid++
+				}
+			}
+		}
+	}
+
+	// Local hash-chained ledger copy.
+	b := &types.Block{Number: number, Prev: n.blocks.LastDigest(), Seqs: blk.seqs, Hashes: blk.hashes, Cert: blk.cert}
+	if err := n.blocks.Append(b); err == nil {
+		n.ctx.Elapse(cfg.Costs.BlockOverhead)
+	}
+
+	// Leader disseminates the agreed hash-only block to all normal nodes
+	// (end of Phase 3: "assembles transactions into a block and delivers
+	// the block to normal nodes").
+	if leaderOfBlock == n.idx {
+		bm := &BlockMsg{Number: number, Ordering: types.EncodeOrdering(blk.seqs, blk.hashes), Cert: blk.cert}
+		if cfg.DisableMulticast {
+			n.ctx.MulticastUnicast(groupBlocks, bm)
+		} else {
+			n.ctx.Multicast(groupBlocks, bm)
+		}
+	}
+
+	// Evaluate any result vectors that arrived before agreement.
+	for _, s := range blk.seqs {
+		if buf, ok := n.resultsBuf[s]; ok {
+			delete(n.resultsBuf, s)
+			for i := range buf {
+				n.evaluateResult(buf[i])
+			}
+		}
+	}
+
+	// Shepherding (§4.5): invalid payloads from the leader, or a
+	// non-trivial conflict/mismatch rate, trigger a view change.
+	if invalid > 0 {
+		n.c.Collector.RejectedTxns += uint64(invalid)
+		n.requestViewChangeOnce()
+	}
+	if !cfg.DisableDenylist {
+		if n.replica.IsLeader() && n.viewConf > 0 {
+			// A correct leader proactively rotates on observing
+			// conflicts so the adversary cannot confine conflicts to
+			// chosen views (§4.6 mechanism 1).
+			n.requestViewChangeOnce()
+		}
+		if n.viewTotal > cfg.BlockSize {
+			rate := float64(n.viewConf+n.viewMis) / float64(n.viewTotal)
+			if rate > cfg.ReexecThreshold {
+				n.requestViewChangeOnce()
+			}
+		}
+	}
+}
+
+func (n *ConsNode) requestViewChangeOnce() {
+	if n.vcRequested {
+		return
+	}
+	n.vcRequested = true
+	n.replica.RequestViewChange()
+}
+
+// --- persist protocol (Phase 4-2, Algo 1 lines 16-18) ----------------------
+
+func (n *ConsNode) onResults(m *ResultMsg) {
+	for _, e := range m.Entries {
+		if h, ok := n.agreed[e.Seq]; ok {
+			if h == e.TxID {
+				n.evaluateResult(e)
+			} else if n.agreedView[e.Seq] == n.replica.View() {
+				// Speculation on a conflicting transaction in the
+				// current view: feeds the shepherd's re-execution
+				// monitor. Stale votes from superseded sequencing
+				// terms are not evidence against this view's leader.
+				n.viewMis++
+			}
+		} else {
+			n.resultsBuf[e.Seq] = append(n.resultsBuf[e.Seq], e)
+		}
+	}
+}
+
+// evaluateResult implements approved(R) ∧ match(H,R) ∧ localStore(R): the
+// vector must match the hash the leader proposed (or that agreement fixed)
+// for its sequence number.
+func (n *ConsNode) evaluateResult(e ResultEntry) {
+	h, ok := n.agreed[e.Seq]
+	if !ok {
+		h, ok = n.proposedHash[e.Seq]
+	}
+	if !ok || h != e.TxID {
+		return
+	}
+	if _, stored := n.persisted[e.Seq]; stored {
+		// localStore: only one result vector per sequence (§4.4).
+		return
+	}
+	// Verify each org's batch-signed partition (MAC-rate, §4.4) and that
+	// the carried writes hash to the signed partition digest.
+	for _, r := range e.Vector {
+		n.ctx.Elapse(n.c.Cfg.Costs.MACVerify + n.c.Cfg.Costs.Hash(writesSize(r.Writes)))
+		prw := ledger.RWSet{Writes: r.Writes, Aborted: r.Aborted}
+		if prw.Digest() != r.Digest {
+			return
+		}
+		if !n.c.Scheme.Verify(crypto.Identity(r.Org),
+			orgResultBytes(e.Seq, e.TxID, r.Org, r.Digest, r.Aborted, r.Inconsistent), r.Sig) {
+			return
+		}
+	}
+	// approved(R): all related organizations present (checkable when the
+	// payload is pooled).
+	if tx, ok := n.pool.byID(e.TxID); ok {
+		if !vectorApproved(tx, e.Vector) {
+			return
+		}
+	}
+	union := e.Union()
+	consistent := e.Consistent()
+	aborted := e.Aborted()
+	resultDig := (&ledger.RWSet{Writes: union, Aborted: aborted}).Digest()
+	sr := &storedResult{entry: e, vecDigest: e.VectorDigest(), consistent: consistent, resultDig: resultDig}
+	if e.Seq == DebugWatchSeqCN && n.idx == 0 {
+		DebugWatchStoredAt = n.ctx.Now()
+	}
+	n.persisted[e.Seq] = sr
+	n.persistOut = append(n.persistOut, PersistEntry{
+		Seq: e.Seq, TxID: e.TxID, VecDigest: sr.vecDigest,
+		Consistent: consistent, ResultDigest: resultDig,
+		Writes: union, Aborted: aborted,
+	})
+	if !n.persistArm {
+		n.persistArm = true
+		n.host().After(n.c.Cfg.ResultFlushInterval, func() {
+			n.persistArm = false
+			n.flushPersist()
+		})
+	}
+}
+
+// vectorApproved checks the vector covers exactly the related organizations.
+func vectorApproved(tx *types.Transaction, vec []OrgResult) bool {
+	if len(vec) != len(tx.Orgs) {
+		return false
+	}
+	have := make(map[string]bool, len(vec))
+	for _, r := range vec {
+		have[r.Org] = true
+	}
+	for _, o := range tx.Orgs {
+		if !have[o] {
+			return false
+		}
+	}
+	return true
+}
+
+var DebugPersistFlush, DebugPersistFlushEntries int
+var DebugWatchSeqCN uint64
+var DebugWatchStoredAt time.Duration
+
+func (n *ConsNode) flushPersist() {
+	DebugPersistFlush++
+	DebugPersistFlushEntries += len(n.persistOut)
+	if len(n.persistOut) == 0 {
+		return
+	}
+	entries := n.persistOut
+	n.persistOut = nil
+	n.ctx.Elapse(n.c.Cfg.Costs.MACCompute)
+	msg := &PersistMsg{Node: n.idx, Entries: entries}
+	msg.Sig = n.Sign(persistSigningBytes(n.idx, entries))
+	if n.c.Cfg.DisableMulticast {
+		n.ctx.MulticastUnicast(groupPersist, msg)
+	} else {
+		n.ctx.Multicast(groupPersist, msg)
+	}
+}
+
+// --- retransmission and client liveness ------------------------------------
+
+func (n *ConsNode) onFetch(from simnet.NodeID, m *FetchReq) {
+	var out []types.SequencedTx
+	for _, h := range m.Hashes {
+		if seq, ok := n.pool.seqOf(h); ok {
+			tx, _ := n.pool.at(seq)
+			out = append(out, types.SequencedTx{Seq: seq, Tx: tx})
+		}
+	}
+	n.c.Collector.RetransmitReqs++
+	if len(out) > 0 {
+		n.ctx.Send(from, &FetchResp{Txns: out})
+	}
+}
+
+// onBlockMsg lets a consensus node that missed a decision (e.g. across a
+// view change) catch up from the leader's dissemination: the 2f+1
+// certificate proves agreement, so the block can be processed directly.
+func (n *ConsNode) onBlockMsg(m *BlockMsg) {
+	if m.Number < n.chainHeight || m.Cert == nil {
+		return
+	}
+	if _, ok := n.delivered[m.Number]; ok {
+		return
+	}
+	seqs, hashes, err := types.DecodeOrdering(m.Ordering)
+	if err != nil {
+		return
+	}
+	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
+	if m.Cert.Number != m.Number || m.Cert.Digest != types.OrderingDigest(m.Ordering) {
+		return
+	}
+	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {
+		return
+	}
+	n.delivered[m.Number] = &deliveredBlock{seqs: seqs, hashes: hashes, cert: m.Cert, at: n.ctx.Now()}
+	for {
+		blk, ok := n.delivered[n.chainHeight]
+		if !ok {
+			return
+		}
+		n.processBlock(n.chainHeight, blk)
+		delete(n.delivered, n.chainHeight)
+		n.chainHeight++
+	}
+}
+
+// onBlockFetch re-sends stored blocks a normal node missed.
+func (n *ConsNode) onBlockFetch(from simnet.NodeID, m *BlockFetchReq) {
+	const maxBlocks = 32
+	to := m.To
+	if to > n.blocks.Height() {
+		to = n.blocks.Height()
+	}
+	if to > m.From+maxBlocks {
+		to = m.From + maxBlocks
+	}
+	for num := m.From; num < to; num++ {
+		b := n.blocks.Get(num)
+		if b == nil {
+			continue
+		}
+		n.ctx.Send(from, &BlockMsg{
+			Number:   num,
+			Ordering: types.EncodeOrdering(b.Seqs, b.Hashes),
+			Cert:     b.Cert,
+		})
+	}
+}
+
+// onPersistFetch re-sends this node's stored PERSIST entries for the
+// requested sequence numbers (persist-round loss recovery).
+func (n *ConsNode) onPersistFetch(from simnet.NodeID, m *PersistFetchReq) {
+	var entries []PersistEntry
+	for _, seq := range m.Seqs {
+		sr, ok := n.persisted[seq]
+		if !ok {
+			continue
+		}
+		entries = append(entries, PersistEntry{
+			Seq: seq, TxID: sr.entry.TxID, VecDigest: sr.vecDigest,
+			Consistent: sr.consistent, ResultDigest: sr.resultDig,
+			Writes: sr.entry.Union(), Aborted: sr.entry.Aborted(),
+		})
+	}
+	if len(entries) == 0 {
+		return
+	}
+	n.ctx.Elapse(n.c.Cfg.Costs.SigSign)
+	msg := &PersistMsg{Node: n.idx, Entries: entries}
+	msg.Sig = n.Sign(persistSigningBytes(n.idx, entries))
+	n.ctx.Send(from, msg)
+}
+
+func (n *ConsNode) onFetchResp(m *FetchResp) {
+	n.onSeqBatchFrom(-1, &SeqBatch{Txns: m.Txns})
+}
+
+// onClientRelay handles client retransmissions (§4.5 second trigger): relay
+// to the leader's sequencer and view-change if the transaction still fails
+// to commit.
+func (n *ConsNode) onClientRelay(m *RelayBatch) {
+	var fresh []*types.Transaction
+	for _, tx := range m.Txns {
+		id := tx.ID()
+		if n.agreedHash[id] || n.pool.isCommitted(id) || n.denylist[tx.Client] {
+			continue
+		}
+		fresh = append(fresh, tx)
+		n.watch[id] = true
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	leader := n.c.leaderIdx()
+	n.ctx.Send(n.c.Sequencers[leader].ep.ID(), &RelayBatch{Txns: fresh})
+	ids := make([]types.TxID, 0, len(fresh))
+	for _, tx := range fresh {
+		ids = append(ids, tx.ID())
+	}
+	n.host().After(n.c.Cfg.ClientTimeout, func() {
+		stuck := false
+		for _, id := range ids {
+			if n.watch[id] {
+				stuck = true
+				break
+			}
+		}
+		if stuck {
+			n.requestViewChangeOnce()
+		}
+	})
+}
+
+// --- view changes and the denylist (§4.5–§4.6) ------------------------------
+
+// suspect records that client c caused a conflict in a view led by leader.
+func (n *ConsNode) suspect(c crypto.Identity, leader int) {
+	if n.c.Cfg.DisableDenylist {
+		return
+	}
+	set := n.suspects[c]
+	if set == nil {
+		set = make(map[int]bool)
+		n.suspects[c] = set
+	}
+	set[leader] = true
+	// Suspected across f+1 views with different leaders ⇒ locally judged
+	// malicious (§4.6 step 2).
+	if len(set) >= n.c.Cfg.F+1 {
+		n.maliceVotes[c] = true
+	}
+}
+
+// ViewChangeMeta implements consensus.Host: piggyback local malice verdicts.
+func (n *ConsNode) ViewChangeMeta() []byte {
+	if n.c.Cfg.DisableDenylist || len(n.maliceVotes) == 0 {
+		return nil
+	}
+	clients := make([]string, 0, len(n.maliceVotes))
+	for c := range n.maliceVotes {
+		clients = append(clients, string(c))
+	}
+	sort.Strings(clients)
+	var buf []byte
+	for _, c := range clients {
+		buf = append(buf, c...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func decodeMeta(meta []byte) []crypto.Identity {
+	var out []crypto.Identity
+	start := 0
+	for i, b := range meta {
+		if b == 0 {
+			if i > start {
+				out = append(out, crypto.Identity(meta[start:i]))
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// ViewChanged implements consensus.Host.
+func (n *ConsNode) ViewChanged(view uint64, leader int, metas [][]byte) {
+	n.vcRequested = false
+	n.viewConf, n.viewMis, n.viewTotal = 0, 0, 0
+	if n.idx == 0 {
+		n.c.Collector.ViewChanges++
+	}
+
+	// Merge denylist votes: a client judged malicious by f+1 consensus
+	// nodes joins the denylist (§4.6 step 3).
+	if !n.c.Cfg.DisableDenylist && len(metas) > 0 {
+		counts := make(map[crypto.Identity]int)
+		for _, meta := range metas {
+			for _, c := range decodeMeta(meta) {
+				counts[c]++
+			}
+		}
+		var newly []crypto.Identity
+		for c, k := range counts {
+			if k >= n.c.Cfg.F+1 && !n.denylist[c] {
+				n.denylist[c] = true
+				newly = append(newly, c)
+			}
+		}
+		if len(newly) > 0 {
+			sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
+			if n.idx == 0 {
+				n.c.Collector.DeniedClients += uint64(len(newly))
+			}
+			upd := &DenyUpdate{Node: n.idx, Clients: newly}
+			upd.Sig = n.Sign(denySigningBytes(n.idx, newly))
+			n.ctx.Multicast(groupPersist, upd)
+			if n.c.Cfg.DenyRejoin > 0 {
+				n.host().After(n.c.Cfg.DenyRejoin, func() {
+					for _, c := range newly {
+						delete(n.denylist, c)
+						delete(n.maliceVotes, c)
+						delete(n.suspects, c)
+					}
+				})
+			}
+		}
+	}
+
+	if leader == n.idx {
+		n.activateSequencer(view)
+	} else {
+		n.ctx.Send(n.c.Sequencers[n.idx].ep.ID(), &seqActivate{Active: false})
+	}
+}
+
+// activateSequencer hands the sequencing role to this node's co-located
+// sequencer and re-sequences pending transactions from the pool.
+func (n *ConsNode) activateSequencer(view uint64) {
+	// A generous gap past everything observed keeps the new term's range
+	// disjoint from in-flight batches of the previous term (overlapping
+	// ranges would create benign conflicts that look like attacks and
+	// feed denylist false positives, §5.2).
+	start := n.maxSeen + uint64(10*n.c.Cfg.BlockSize) + 1
+	n.watermark = start - 1
+	n.maxSeen = start - 1
+	n.ctx.Send(n.c.Sequencers[n.idx].ep.ID(), &seqActivate{Active: true, View: view, StartSeq: start})
+	// Transactions stranded by the previous leadership term are NOT
+	// re-sequenced from the pool: the pool may hold crafted transactions,
+	// and re-sequencing them would amplify a broadcaster. Clients
+	// retransmit uncommitted transactions themselves (§4.5), and consensus
+	// nodes relay only those (onClientRelay).
+}

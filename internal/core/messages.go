@@ -1,0 +1,382 @@
+package core
+
+import (
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// SubmitBatch carries client transactions to the leader's sequencer
+// (Phase 1). Clients batch their submissions per flush tick.
+type SubmitBatch struct {
+	Txns []*types.Transaction
+}
+
+// Size implements simnet.Message.
+func (m *SubmitBatch) Size() int {
+	n := 16
+	for _, t := range m.Txns {
+		n += t.Size()
+	}
+	return n
+}
+
+// RelayBatch carries transactions a consensus node relays to the current
+// leader's sequencer: client retransmissions (§4.5) and re-sequencing after
+// a view change.
+type RelayBatch struct {
+	Txns []*types.Transaction
+}
+
+// Size implements simnet.Message.
+func (m *RelayBatch) Size() int {
+	n := 16
+	for _, t := range m.Txns {
+		n += t.Size()
+	}
+	return n
+}
+
+// SeqBatch is the sequencer's multicast of sequenced transactions
+// (Phase 2). Deliberately unsigned (§4.1).
+type SeqBatch struct {
+	View uint64
+	Txns []types.SequencedTx
+}
+
+// Size implements simnet.Message.
+func (m *SeqBatch) Size() int {
+	n := 16
+	for _, t := range m.Txns {
+		n += t.Size()
+	}
+	return n
+}
+
+// BlockMsg disseminates an agreed block (hash list + certificate) from the
+// leader consensus node to all nodes (end of Phase 3). Payloads are not
+// included: nodes already hold them from the sequencer multicast
+// (consensus-on-hash, §6).
+type BlockMsg struct {
+	Number uint64
+	// Ordering is the encoded (seq, hash) list, the exact bytes agreed by
+	// consensus.
+	Ordering []byte
+	Cert     *types.Certificate
+	// Txns optionally carries full payloads when consensus-on-hash is
+	// disabled.
+	Txns []*types.Transaction
+}
+
+// Size implements simnet.Message.
+func (m *BlockMsg) Size() int {
+	n := 8 + len(m.Ordering)
+	if m.Cert != nil {
+		n += m.Cert.Size()
+	}
+	for _, t := range m.Txns {
+		n += t.Size()
+	}
+	return n
+}
+
+// OrgResult is one organization's signed execution result for a transaction
+// (§4.4): the writes to the keys the organization owns (its partition,
+// always computed from fresh state), the partition digest the delegate
+// signs, and two self-reported flags — Aborted (application-level abort)
+// and Inconsistent (the delegate's redundant executions diverged,
+// indicating a non-deterministic transaction).
+type OrgResult struct {
+	Org          string
+	Digest       crypto.Digest
+	Writes       []ledger.Write
+	Aborted      bool
+	Inconsistent bool
+	Sig          crypto.Signature
+}
+
+// orgResultBytes is what the delegate signs; the digest covers the writes
+// and the aborted flag, so signing digest+flags covers everything.
+func orgResultBytes(seq uint64, id types.TxID, org string, digest crypto.Digest, aborted, inconsistent bool) []byte {
+	buf := make([]byte, 0, 84)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(seq>>(8*(7-i))))
+	}
+	buf = append(buf, id[:]...)
+	buf = append(buf, org...)
+	buf = append(buf, digest[:]...)
+	flags := byte(0)
+	if aborted {
+		flags |= 1
+	}
+	if inconsistent {
+		flags |= 2
+	}
+	return append(buf, flags)
+}
+
+// OrgResultMsg carries signed per-org results from a related organization's
+// delegate to the corresponding organization's delegate (Phase 4-2 step 1).
+type OrgResultMsg struct {
+	Entries []OrgResultEntry
+}
+
+// OrgResultEntry is one transaction's result from one organization.
+type OrgResultEntry struct {
+	Seq    uint64
+	TxID   types.TxID
+	Result OrgResult
+}
+
+// Size implements simnet.Message.
+func (m *OrgResultMsg) Size() int {
+	n := 16
+	for _, e := range m.Entries {
+		n += 8 + 32 + 16 + 32 + 64 + 2 + writesSize(e.Result.Writes)
+	}
+	return n
+}
+
+// ResultMsg carries approved result vectors from a corresponding-org
+// delegate to all consensus nodes (Phase 4-2 step 2: the multi-write).
+type ResultMsg struct {
+	Entries []ResultEntry
+}
+
+// ResultEntry is one transaction's approved result vector r̄: one
+// partitioned result per related organization. The canonical committed
+// write set is the union of the partitions — the paper's "retrievable"
+// result (§4.4): once persisted, every correct node can read and apply it.
+type ResultEntry struct {
+	Seq    uint64
+	TxID   types.TxID
+	Vector []OrgResult
+}
+
+// Consistent reports whether no organization flagged non-determinism.
+func (e *ResultEntry) Consistent() bool {
+	for _, r := range e.Vector {
+		if r.Inconsistent {
+			return false
+		}
+	}
+	return len(e.Vector) > 0
+}
+
+// Aborted reports whether any organization aborted the transaction; an
+// aborted transaction commits as a no-op everywhere, so disagreement on
+// application-level aborts can never split the state.
+func (e *ResultEntry) Aborted() bool {
+	for _, r := range e.Vector {
+		if r.Aborted {
+			return true
+		}
+	}
+	return false
+}
+
+// Union concatenates the per-org partitions in vector order into the
+// canonical write set.
+func (e *ResultEntry) Union() []ledger.Write {
+	var out []ledger.Write
+	for _, r := range e.Vector {
+		out = append(out, r.Writes...)
+	}
+	return out
+}
+
+// VectorDigest canonically hashes the vector for persist matching.
+func (e *ResultEntry) VectorDigest() crypto.Digest {
+	parts := make([][]byte, 0, len(e.Vector)*3+1)
+	parts = append(parts, e.TxID[:])
+	for _, r := range e.Vector {
+		flags := byte(0)
+		if r.Aborted {
+			flags |= 1
+		}
+		if r.Inconsistent {
+			flags |= 2
+		}
+		parts = append(parts, []byte(r.Org), r.Digest[:], []byte{flags})
+	}
+	return crypto.HashAll(parts...)
+}
+
+// Size implements simnet.Message.
+func (m *ResultMsg) Size() int {
+	n := 16
+	for _, e := range m.Entries {
+		n += 8 + 32
+		for _, r := range e.Vector {
+			n += 16 + 32 + 64 + 2 + writesSize(r.Writes)
+		}
+	}
+	return n
+}
+
+func writesSize(ws []ledger.Write) int {
+	n := 0
+	for _, w := range ws {
+		n += len(w.Key) + len(w.Val) + 2
+	}
+	return n
+}
+
+// PersistMsg is a consensus node's batched PERSIST echo to all normal nodes
+// (Algo 1 line 18). One signature covers the batch.
+type PersistMsg struct {
+	Node    int
+	Entries []PersistEntry
+	Sig     crypto.Signature
+}
+
+// PersistEntry acknowledges one persisted result vector and carries the
+// canonical result so normal nodes can adopt it (§4.4 retrievability).
+type PersistEntry struct {
+	Seq        uint64
+	TxID       types.TxID
+	VecDigest  crypto.Digest
+	Consistent bool
+	// ResultDigest is the common result digest when Consistent.
+	ResultDigest crypto.Digest
+	Writes       []ledger.Write
+	Aborted      bool
+}
+
+// contentKey digests the entry's full content; normal nodes count PERSIST
+// votes per content key so that 2f+1 votes imply f+1 honest nodes vouch for
+// every field, not just the vector digest.
+func (e *PersistEntry) contentKey() crypto.Digest {
+	rw := ledger.RWSet{Writes: e.Writes, Aborted: e.Aborted}
+	wd := rw.Digest()
+	flags := byte(0)
+	if e.Consistent {
+		flags |= 1
+	}
+	return crypto.HashAll(e.TxID[:], e.VecDigest[:], e.ResultDigest[:], wd[:], []byte{flags})
+}
+
+// persistSigningBytes covers the batch content.
+func persistSigningBytes(node int, entries []PersistEntry) []byte {
+	buf := make([]byte, 0, 32+len(entries)*105)
+	buf = append(buf, byte(node))
+	for _, e := range entries {
+		for i := 0; i < 8; i++ {
+			buf = append(buf, byte(e.Seq>>(8*(7-i))))
+		}
+		buf = append(buf, e.TxID[:]...)
+		buf = append(buf, e.VecDigest[:]...)
+		if e.Consistent {
+			buf = append(buf, 1)
+		}
+		if e.Aborted {
+			buf = append(buf, 2)
+		}
+		buf = append(buf, e.ResultDigest[:]...)
+		for _, w := range e.Writes {
+			buf = append(buf, w.Key...)
+			buf = append(buf, w.Val...)
+		}
+	}
+	return buf
+}
+
+// Size implements simnet.Message.
+func (m *PersistMsg) Size() int {
+	n := 16 + len(m.Sig)
+	for _, e := range m.Entries {
+		n += 8 + 32 + 32 + 2 + 32 + writesSize(e.Writes)
+	}
+	return n
+}
+
+// FetchReq asks a consensus node for transaction payloads missing locally
+// (checkProp retransmission, §4.2; also loss recovery, §6.4).
+type FetchReq struct {
+	Hashes []types.TxID
+}
+
+// Size implements simnet.Message.
+func (m *FetchReq) Size() int { return 16 + len(m.Hashes)*32 }
+
+// FetchResp returns the requested payloads with their sequence numbers.
+type FetchResp struct {
+	Txns []types.SequencedTx
+}
+
+// Size implements simnet.Message.
+func (m *FetchResp) Size() int {
+	n := 16
+	for _, t := range m.Txns {
+		n += t.Size()
+	}
+	return n
+}
+
+// CommitNotice tells a client its transactions committed (or aborted).
+type CommitNotice struct {
+	Entries []CommitEntry
+}
+
+// CommitEntry is one transaction's outcome.
+type CommitEntry struct {
+	TxID    types.TxID
+	Aborted bool
+}
+
+// Size implements simnet.Message.
+func (m *CommitNotice) Size() int { return 16 + len(m.Entries)*33 }
+
+// PersistFetchReq asks consensus nodes to re-send their stored PERSIST
+// entries for stalled sequence numbers (loss recovery for the persist
+// protocol).
+type PersistFetchReq struct {
+	Seqs []uint64
+}
+
+// Size implements simnet.Message.
+func (m *PersistFetchReq) Size() int { return 16 + 8*len(m.Seqs) }
+
+// ChainStatus is a leader consensus node's periodic advertisement of its
+// processed chain height, letting normal nodes detect and recover lost
+// block disseminations.
+type ChainStatus struct {
+	Height uint64
+}
+
+// Size implements simnet.Message.
+func (m *ChainStatus) Size() int { return 16 }
+
+// BlockFetchReq asks a consensus node for blocks [From, To).
+type BlockFetchReq struct {
+	From, To uint64
+}
+
+// Size implements simnet.Message.
+func (m *BlockFetchReq) Size() int { return 24 }
+
+// DenyUpdate propagates newly denylisted clients from a consensus node to
+// normal nodes (§4.6 step 3 aftermath).
+type DenyUpdate struct {
+	Node    int
+	Clients []crypto.Identity
+	Sig     crypto.Signature
+}
+
+func denySigningBytes(node int, clients []crypto.Identity) []byte {
+	buf := []byte{byte(node)}
+	for _, c := range clients {
+		buf = append(buf, c...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// Size implements simnet.Message.
+func (m *DenyUpdate) Size() int {
+	n := 16 + len(m.Sig)
+	for _, c := range m.Clients {
+		n += len(c)
+	}
+	return n
+}

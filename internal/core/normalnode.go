@@ -1,0 +1,1073 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// specResult is one speculatively executed transaction's outcome. orgRes
+// caches the delegate's signed partition so it can be retransmitted if the
+// persist round stalls under packet loss.
+type specResult struct {
+	txID   types.TxID
+	rw     *ledger.RWSet
+	orgRes *OrgResult
+}
+
+// vectorBuild accumulates per-org results for one transaction at its
+// corresponding organization's delegate (§4.4).
+type vectorBuild struct {
+	seq    uint64
+	txID   types.TxID
+	needed map[string]bool
+	got    map[string]OrgResult
+	start  time.Duration
+	sent   bool
+}
+
+// persistStatus tracks PERSIST quorum formation for one sequence number.
+type persistStatus struct {
+	votes      map[crypto.Digest]map[int]bool
+	persisted  bool
+	consistent bool
+	resultDig  crypto.Digest
+	writes     []ledger.Write
+	aborted    bool
+}
+
+// pendingBlock is an agreed block a normal node is working through.
+type pendingBlock struct {
+	number   uint64
+	seqs     []uint64
+	hashes   []types.TxID
+	cert     *types.Certificate
+	arrived  time.Duration
+	executed bool
+	fetching bool
+}
+
+// NormalNode is one BIDL normal node: it verifies and speculatively executes
+// sequenced transactions (Phase 4-1), participates in the persist protocol
+// (Phase 4-2), and commits agreed blocks (Phase 5).
+type NormalNode struct {
+	c        *Cluster
+	org      int
+	orgName  string
+	idxInOrg int
+	ep       *simnet.Endpoint
+	ctx      *simnet.Context
+
+	pool    *txPool
+	arrival map[uint64]time.Duration
+	invalid map[types.TxID]bool
+	checked map[types.TxID]bool
+
+	base     *ledger.State
+	overlay  *ledger.Overlay
+	spec     map[uint64]*specResult
+	specNext uint64
+	specInit bool
+	gapArmed bool
+	nondet   *rand.Rand
+
+	// delegate state (first normal node of the org).
+	vectors   map[types.TxID]*vectorBuild
+	orgOut    map[int][]OrgResultEntry // target org → batched results
+	resultOut []ResultEntry
+	flushArm  bool
+
+	persist map[uint64]*persistStatus
+
+	blockBuf        map[uint64]*pendingBlock
+	commitHeight    uint64
+	blocks          *ledger.BlockStore
+	blockFetching   bool
+	persistRetryArm bool
+
+	deny      map[crypto.Identity]bool
+	denyVotes map[crypto.Identity]map[int]bool
+
+	// agreed marks hashes ordered by consensus: an agreed transaction is
+	// authoritative for its sequence slot and displaces any crafted
+	// squatter the first-received-wins rule let in (§4.1 vs Def 4.1).
+	agreed map[types.TxID]uint64
+}
+
+// Endpoint returns the node's simnet endpoint.
+func (n *NormalNode) Endpoint() *simnet.Endpoint { return n.ep }
+
+// State exposes the committed world state (safety checks, examples).
+func (n *NormalNode) State() *ledger.State { return n.base }
+
+// Blocks exposes the node's ledger.
+func (n *NormalNode) Blocks() *ledger.BlockStore { return n.blocks }
+
+// CommitHeight returns the number of fully committed blocks.
+func (n *NormalNode) CommitHeight() uint64 { return n.commitHeight }
+
+// DebugHead describes the head pending block (diagnostics).
+func (n *NormalNode) DebugHead() string {
+	pb, ok := n.blockBuf[n.commitHeight]
+	if !ok {
+		return fmt.Sprintf("none (commitH=%d buf=%d)", n.commitHeight, len(n.blockBuf))
+	}
+	missPayload, missPersist := 0, 0
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) {
+			continue
+		}
+		if _, ok := n.pool.byID(h); !ok {
+			missPayload++
+			continue
+		}
+		if n.invalid[h] {
+			continue
+		}
+		if ps := n.persist[pb.seqs[i]]; ps == nil || !ps.persisted {
+			missPersist++
+		}
+	}
+	return fmt.Sprintf("commitH=%d buf=%d head{num=%d len=%d missPay=%d missPer=%d exec=%v fetch=%v retry=%v}",
+		n.commitHeight, len(n.blockBuf), pb.number, len(pb.hashes), missPayload, missPersist, pb.executed, pb.fetching, n.persistRetryArm)
+}
+
+// DebugStalledSeq reports details for the first stalled entry of the head
+// block (diagnostics).
+func (n *NormalNode) DebugStalledSeq() string {
+	pb, ok := n.blockBuf[n.commitHeight]
+	if !ok {
+		return "none"
+	}
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) || n.invalid[h] {
+			continue
+		}
+		if ps := n.persist[pb.seqs[i]]; ps == nil || !ps.persisted {
+			tx, pooled := n.pool.byID(h)
+			out := fmt.Sprintf("seq=%d pooled=%v", pb.seqs[i], pooled)
+			if pooled {
+				out += fmt.Sprintf(" client=%s orgs=%v poolSeq=?", tx.Client, tx.Orgs)
+				if sq, ok := n.pool.seqOf(h); ok {
+					out += fmt.Sprintf(" poolSeq=%d", sq)
+				}
+				sr, hasSpec := n.spec[pb.seqs[i]]
+				out += fmt.Sprintf(" spec@agreed=%v", hasSpec && sr.txID == h)
+				if vb, ok := n.vectors[h]; ok {
+					out += fmt.Sprintf(" vb{seq=%d sent=%v got=%d need=%d}", vb.seq, vb.sent, len(vb.got), len(vb.needed))
+				} else {
+					out += " vb=nil"
+				}
+			}
+			return out
+		}
+	}
+	return "none-stalled"
+}
+
+// DebugStalledSeqNum returns the first stalled seq of the head block (0 if none).
+func (n *NormalNode) DebugStalledSeqNum() uint64 {
+	pb, ok := n.blockBuf[n.commitHeight]
+	if !ok {
+		return 0
+	}
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) || n.invalid[h] {
+			continue
+		}
+		if ps := n.persist[pb.seqs[i]]; ps == nil || !ps.persisted {
+			return pb.seqs[i]
+		}
+	}
+	return 0
+}
+
+// DebugVotes summarizes persist votes for a seq.
+func (n *NormalNode) DebugVotes(seq uint64) string {
+	ps := n.persist[seq]
+	if ps == nil {
+		return "no status"
+	}
+	out := fmt.Sprintf("persisted=%v keys=%d:", ps.persisted, len(ps.votes))
+	for _, set := range ps.votes {
+		out += fmt.Sprintf(" %d", len(set))
+	}
+	return out
+}
+
+// Denied reports whether the node currently denies a client.
+func (n *NormalNode) Denied(c crypto.Identity) bool { return n.deny[c] }
+
+// isDelegate reports whether this node is its organization's delegate.
+func (n *NormalNode) isDelegate() bool { return n.idxInOrg == 0 }
+
+func newNormalNode(c *Cluster, org, idxInOrg int, seed int64) *NormalNode {
+	base := ledger.NewState()
+	return &NormalNode{
+		c:         c,
+		org:       org,
+		orgName:   orgName(org),
+		idxInOrg:  idxInOrg,
+		pool:      newTxPool(),
+		arrival:   make(map[uint64]time.Duration),
+		invalid:   make(map[types.TxID]bool),
+		checked:   make(map[types.TxID]bool),
+		base:      base,
+		overlay:   ledger.NewOverlay(base),
+		spec:      make(map[uint64]*specResult),
+		nondet:    rand.New(rand.NewSource(seed)),
+		vectors:   make(map[types.TxID]*vectorBuild),
+		orgOut:    make(map[int][]OrgResultEntry),
+		persist:   make(map[uint64]*persistStatus),
+		blockBuf:  make(map[uint64]*pendingBlock),
+		blocks:    ledger.NewBlockStore(),
+		deny:      make(map[crypto.Identity]bool),
+		denyVotes: make(map[crypto.Identity]map[int]bool),
+		agreed:    make(map[types.TxID]uint64),
+	}
+}
+
+func (n *NormalNode) bind(ctx *simnet.Context, fn func()) {
+	prev := n.ctx
+	n.ctx = ctx
+	defer func() { n.ctx = prev }()
+	fn()
+}
+
+// OnMessage implements simnet.Handler.
+func (n *NormalNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
+	n.bind(ctx, func() {
+		switch m := msg.(type) {
+		case *SeqBatch:
+			n.onSeqBatch(m)
+		case *BlockMsg:
+			n.onBlock(m)
+		case *OrgResultMsg:
+			n.onOrgResults(m)
+		case *PersistMsg:
+			n.onPersist(from, m)
+		case *FetchResp:
+			n.onFetchResp(m)
+		case *DenyUpdate:
+			n.onDenyUpdate(m)
+		case *ChainStatus:
+			n.onChainStatus(from, m)
+		}
+	})
+}
+
+// --- Phase 4-1: verification and speculative execution ---------------------
+
+func (n *NormalNode) onSeqBatch(m *SeqBatch) {
+	for _, st := range m.Txns {
+		n.ctx.Elapse(n.c.Cfg.Costs.Hash(st.Tx.Size()))
+		if n.deny[st.Tx.Client] {
+			// Denylisted clients' multicasts are ignored outright, so
+			// their crafted transactions stop occupying sequence slots.
+			continue
+		}
+		res := n.pool.add(st.Seq, st.Tx)
+		if res == poolDupSeq {
+			if seq, ok := n.agreed[st.Tx.ID()]; ok && seq == st.Seq {
+				// Consensus agreed on this transaction: it evicts the
+				// crafted squatter occupying its slot.
+				n.pool.replace(st.Seq, st.Tx)
+				res = poolAdded
+			}
+		}
+		switch res {
+		case poolAdded:
+			n.arrival[st.Seq] = n.ctx.Now()
+			if n.specInit && st.Seq < n.specNext {
+				// A gap filled in late (loss or attack): speculation
+				// beyond it used the wrong order. Reset (§4.3
+				// fallback semantics).
+				n.specReset()
+			}
+		case poolDupSeq:
+			// First-received wins (§4.1); the loser is discarded.
+			continue
+		case poolDupHash:
+			continue
+		}
+	}
+	n.trySpeculate()
+}
+
+// verifyTx runs the §4.1 signature check (step 3) once per transaction.
+func (n *NormalNode) verifyTx(tx *types.Transaction) bool {
+	id := tx.ID()
+	if n.checked[id] {
+		return !n.invalid[id]
+	}
+	n.checked[id] = true
+	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify)
+	if !tx.VerifySig(n.c.Scheme) || !n.c.Scheme.Known(tx.Client) {
+		n.invalid[id] = true
+		return false
+	}
+	return true
+}
+
+// trySpeculate executes pooled transactions in sequence-number order
+// (Phase 4-1). Related transactions execute against the speculative
+// overlay; unrelated ones just advance the pointer.
+func (n *NormalNode) trySpeculate() {
+	if !n.specInit {
+		// Bootstrap: start from the lowest pooled sequence.
+		lowest, ok := n.lowestPooled()
+		if !ok {
+			return
+		}
+		n.specNext = lowest
+		n.specInit = true
+	}
+	for {
+		tx, ok := n.pool.at(n.specNext)
+		if !ok {
+			n.armGapTimer()
+			return
+		}
+		seq := n.specNext
+		n.specNext++
+		if !tx.RelatedTo(n.orgName) {
+			continue
+		}
+		if n.deny[tx.Client] || n.c.Cfg.DisableSpeculation {
+			// Denied clients lose speculation but keep liveness:
+			// their agreed transactions re-execute at commit (§4.6).
+			// With speculation disabled (ablation), every transaction
+			// takes the commit-time sequential path.
+			continue
+		}
+		if !n.verifyTx(tx) {
+			// Invalid related transactions still need a persist round
+			// so that every node can commit them as aborted: the
+			// related organizations vote "invalid".
+			if n.isDelegate() {
+				n.routeInvalid(seq, tx)
+			}
+			continue
+		}
+		n.executeSpec(seq, tx)
+	}
+}
+
+// routeInvalid emits a signed aborted result for an invalid related
+// transaction, letting its persist round complete with an abort verdict.
+func (n *NormalNode) routeInvalid(seq uint64, tx *types.Transaction) {
+	rw := &ledger.RWSet{Aborted: true}
+	dig := rw.Digest()
+	n.ctx.Elapse(n.c.Cfg.Costs.MACCompute)
+	sig, err := n.c.Scheme.Sign(crypto.Identity(n.orgName),
+		orgResultBytes(seq, tx.ID(), n.orgName, dig, true, false))
+	if err != nil {
+		return
+	}
+	n.routeOrgResult(seq, tx, OrgResult{Org: n.orgName, Digest: dig, Aborted: true, Sig: sig})
+}
+
+// structOK cheaply validates a transaction's structure: it must name at
+// least one related organization and only organizations that exist. A
+// transaction failing this can never complete a persist round, so every
+// node marks it invalid locally instead of waiting.
+func (n *NormalNode) structOK(tx *types.Transaction) bool {
+	if len(tx.Orgs) == 0 {
+		return false
+	}
+	for _, o := range tx.Orgs {
+		idx := orgIndex(o)
+		if idx < 0 || idx >= len(n.c.Orgs) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *NormalNode) lowestPooled() (uint64, bool) {
+	var lo uint64
+	found := false
+	for s := range n.pool.bySeq {
+		if !found || s < lo {
+			lo = s
+			found = true
+		}
+	}
+	return lo, found
+}
+
+// armGapTimer jumps speculation across a persistent gap (lost packet, a
+// crafted-transaction hole, or a leadership-change renumbering).
+func (n *NormalNode) armGapTimer() {
+	if n.gapArmed {
+		return
+	}
+	n.gapArmed = true
+	at := n.specNext
+	n.ctx.After(4*n.c.Cfg.SeqFlushInterval, func(c2 *simnet.Context) {
+		n.bind(c2, func() {
+			n.gapArmed = false
+			if n.specNext != at {
+				n.trySpeculate()
+				return
+			}
+			// Jump to the next available sequence.
+			next, found := uint64(0), false
+			for s := range n.pool.bySeq {
+				if s > n.specNext && (!found || s < next) {
+					next, found = s, true
+				}
+			}
+			if found {
+				n.specNext = next
+				n.trySpeculate()
+			}
+		})
+	})
+}
+
+// executeSpec speculatively executes one related transaction and feeds the
+// result into the persist pipeline.
+func (n *NormalNode) executeSpec(seq uint64, tx *types.Transaction) {
+	n.ctx.Elapse(n.c.Cfg.Costs.ExecTxn)
+	rw := n.c.Registry.Execute(n.overlay, tx, n.nondet)
+	// The redundant non-determinism check must run against the same
+	// pre-state, before the first execution's writes land in the overlay.
+	var res OrgResult
+	if n.isDelegate() {
+		res = n.makeOrgResult(seq, tx, rw)
+	}
+	n.overlayApply(rw)
+	sr := &specResult{txID: tx.ID(), rw: rw}
+	if n.isDelegate() {
+		sr.orgRes = &res
+	}
+	n.spec[seq] = sr
+	n.c.Collector.Speculated++
+	if at, ok := n.arrival[seq]; ok {
+		n.c.Collector.Phase("verexec", n.ctx.Now()-at)
+		delete(n.arrival, seq)
+	}
+	if n.isDelegate() {
+		n.routeOrgResult(seq, tx, res)
+	}
+}
+
+// makeOrgResult extracts this org's owned partition from an execution and
+// redundantly re-executes the transaction against the same pre-state to
+// detect non-determinism: data races (modelled by node-local randomness)
+// make the two runs diverge. Treating every transaction as potentially
+// non-deterministic is §4.4's premise. The redundant run's CPU cost is
+// folded into ExecTxn (DESIGN.md). Must be called before overlayApply(rw).
+func (n *NormalNode) makeOrgResult(seq uint64, tx *types.Transaction, rw *ledger.RWSet) OrgResult {
+	owner := n.c.keyOwner
+	part := contract.PartitionWrites(rw, owner, tx, n.orgName)
+	rw2 := n.c.Registry.Execute(n.overlay, tx, n.nondet)
+	part2 := contract.PartitionWrites(rw2, owner, tx, n.orgName)
+	d1 := (&ledger.RWSet{Writes: part, Aborted: rw.Aborted}).Digest()
+	d2 := (&ledger.RWSet{Writes: part2, Aborted: rw2.Aborted}).Digest()
+	inconsistent := d1 != d2
+	n.ctx.Elapse(n.c.Cfg.Costs.MACCompute)
+	sig, err := n.c.Scheme.Sign(crypto.Identity(n.orgName),
+		orgResultBytes(seq, tx.ID(), n.orgName, d1, rw.Aborted, inconsistent))
+	if err != nil {
+		panic(err)
+	}
+	return OrgResult{Org: n.orgName, Digest: d1, Writes: part,
+		Aborted: rw.Aborted, Inconsistent: inconsistent, Sig: sig}
+}
+
+// routeOrgResult sends a signed partition to the corresponding org's
+// delegate (or feeds it locally when this org is o_c).
+func (n *NormalNode) routeOrgResult(seq uint64, tx *types.Transaction, res OrgResult) {
+	ocOrg := orgIndex(tx.CorrespondingOrg())
+	if ocOrg == n.org {
+		n.feedVector(seq, tx, res)
+	} else {
+		n.orgOut[ocOrg] = append(n.orgOut[ocOrg], OrgResultEntry{Seq: seq, TxID: tx.ID(), Result: res})
+		n.armFlush()
+	}
+}
+
+func (n *NormalNode) overlayApply(rw *ledger.RWSet) {
+	if rw.Aborted {
+		return
+	}
+	for _, w := range rw.Writes {
+		if w.Delete {
+			n.overlay.Delete(w.Key)
+		} else {
+			n.overlay.Put(w.Key, w.Val, ledger.Version{})
+		}
+	}
+}
+
+// specReset falls back to the committed state (Phase 5 fallback, §4.3).
+// Discarded speculative results count as re-executions: the same
+// transactions run again from the reset point.
+func (n *NormalNode) specReset() {
+	n.c.Collector.Reexecuted += uint64(len(n.spec))
+	n.overlay.Discard()
+	n.spec = make(map[uint64]*specResult)
+	if lo, ok := n.lowestPooled(); ok {
+		n.specNext = lo
+	}
+}
+
+// --- Phase 4-2: approve and persist -----------------------------------------
+
+// feedVector accumulates org results at the corresponding org's delegate.
+// A transaction re-sequenced across leadership terms may collect votes under
+// several sequence numbers; signatures bind org results to a specific
+// sequence, so the build follows the agreed one: when a vote for the agreed
+// sequence arrives and the current build is for a stale sequence, the build
+// restarts.
+func (n *NormalNode) feedVector(seq uint64, tx *types.Transaction, res OrgResult) {
+	vb := n.vectors[tx.ID()]
+	if vb != nil && vb.seq != seq {
+		if agreedSeq, ok := n.agreed[tx.ID()]; ok && agreedSeq == seq {
+			vb = nil // stale build for a superseded sequence
+		} else {
+			return // keep the existing build; commit re-routes if needed
+		}
+	}
+	if vb == nil {
+		vb = &vectorBuild{
+			seq:   seq,
+			txID:  tx.ID(),
+			got:   make(map[string]OrgResult, len(tx.Orgs)),
+			start: n.ctx.Now(),
+		}
+		n.vectors[tx.ID()] = vb
+	}
+	if vb.needed == nil {
+		vb.needed = make(map[string]bool, len(tx.Orgs))
+		for _, o := range tx.Orgs {
+			vb.needed[o] = true
+		}
+	}
+	if vb.needed[res.Org] {
+		vb.got[res.Org] = res
+	}
+	n.tryFinishVector(tx, vb)
+}
+
+// tryFinishVector emits the approved vector once every related org's result
+// is present.
+func (n *NormalNode) tryFinishVector(tx *types.Transaction, vb *vectorBuild) {
+	if vb.sent || vb.needed == nil {
+		return
+	}
+	have := 0
+	for o := range vb.needed {
+		if _, ok := vb.got[o]; ok {
+			have++
+		}
+	}
+	if have < len(vb.needed) {
+		return
+	}
+	vb.sent = true
+	vb.start = n.ctx.Now() // persist latency measured from vector send (§4.4)
+	orgs := make([]string, 0, len(vb.got))
+	for o := range vb.needed {
+		orgs = append(orgs, o)
+	}
+	sort.Strings(orgs)
+	entry := ResultEntry{Seq: vb.seq, TxID: vb.txID}
+	for _, o := range orgs {
+		entry.Vector = append(entry.Vector, vb.got[o])
+	}
+	n.resultOut = append(n.resultOut, entry)
+	n.armFlush()
+}
+
+// onOrgResults receives other organizations' signed results (delegate only).
+func (n *NormalNode) onOrgResults(m *OrgResultMsg) {
+	if !n.isDelegate() {
+		return
+	}
+	for _, e := range m.Entries {
+		n.ctx.Elapse(n.c.Cfg.Costs.MACVerify)
+		tx, ok := n.pool.byID(e.TxID)
+		if !ok {
+			// Payload not here yet; buffer through the vector with
+			// unknown needs once it arrives. Simplest: stash under
+			// a provisional build keyed by TxID.
+			vb := n.vectors[e.TxID]
+			if vb == nil {
+				vb = &vectorBuild{seq: e.Seq, txID: e.TxID, needed: nil,
+					got: make(map[string]OrgResult), start: n.ctx.Now()}
+				n.vectors[e.TxID] = vb
+			}
+			vb.got[e.Result.Org] = e.Result
+			continue
+		}
+		if !n.c.Scheme.Verify(crypto.Identity(e.Result.Org),
+			orgResultBytes(e.Seq, e.TxID, e.Result.Org, e.Result.Digest, e.Result.Aborted, e.Result.Inconsistent), e.Result.Sig) {
+			continue
+		}
+		n.feedVector(e.Seq, tx, e.Result)
+	}
+}
+
+func (n *NormalNode) armFlush() {
+	if n.flushArm {
+		return
+	}
+	n.flushArm = true
+	n.ctx.After(n.c.Cfg.ResultFlushInterval, func(c2 *simnet.Context) {
+		n.bind(c2, func() {
+			n.flushArm = false
+			n.flushResults()
+		})
+	})
+}
+
+// flushResults sends batched org results to peer delegates and approved
+// vectors to all consensus nodes (the multi-write, §4.4).
+func (n *NormalNode) flushResults() {
+	if len(n.orgOut) > 0 {
+		orgs := make([]int, 0, len(n.orgOut))
+		for o := range n.orgOut {
+			orgs = append(orgs, o)
+		}
+		sort.Ints(orgs)
+		for _, o := range orgs {
+			entries := n.orgOut[o]
+			delete(n.orgOut, o)
+			// One batch signature per message.
+			n.ctx.Elapse(n.c.Cfg.Costs.SigSign)
+			n.ctx.Send(n.c.Orgs[o][0].ep.ID(), &OrgResultMsg{Entries: entries})
+		}
+	}
+	if len(n.resultOut) > 0 {
+		entries := n.resultOut
+		n.resultOut = nil
+		n.ctx.Elapse(n.c.Cfg.Costs.SigSign)
+		for _, cn := range n.c.ConsNodes {
+			n.ctx.Send(cn.ep.ID(), &ResultMsg{Entries: entries})
+		}
+	}
+}
+
+// onPersist counts PERSIST echoes; 2f+1 matching vectors mark the result
+// persisted (Algo 2 lines 15-18).
+var DebugOnPersist, DebugOnPersistBadSig int
+var DebugWatchSeq uint64
+var DebugWatchHits, DebugWatchCommitted int
+
+func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
+	DebugOnPersist++
+	cn, ok := n.c.cnIndex[from]
+	if !ok || cn != m.Node {
+		return
+	}
+	// PERSIST batches are authenticated with the hybrid MAC mechanism
+	// (§4.1 applies it to replica-to-replica traffic as in Aardvark):
+	// verification is MAC-rate, so large consensus clusters do not choke
+	// normal nodes on persist-echo verification.
+	n.ctx.Elapse(n.c.Cfg.Costs.MACVerify)
+	if !n.c.Scheme.Verify(cnIdentity(m.Node), persistSigningBytes(m.Node, m.Entries), m.Sig) {
+		DebugOnPersistBadSig++
+		return
+	}
+	progressed := false
+	for _, e := range m.Entries {
+		if e.Seq == DebugWatchSeq && n.org == 0 && n.idxInOrg == 0 {
+			DebugWatchHits++
+			if n.pool.isCommitted(e.TxID) {
+				DebugWatchCommitted++
+			}
+		}
+		if n.pool.isCommitted(e.TxID) {
+			continue
+		}
+		ps := n.persist[e.Seq]
+		if ps == nil {
+			ps = &persistStatus{votes: make(map[crypto.Digest]map[int]bool)}
+			n.persist[e.Seq] = ps
+		}
+		if ps.persisted {
+			continue
+		}
+		key := e.contentKey()
+		set := ps.votes[key]
+		if set == nil {
+			set = make(map[int]bool)
+			ps.votes[key] = set
+		}
+		set[m.Node] = true
+		if len(set) >= n.c.Cfg.quorum() {
+			ps.persisted = true
+			ps.consistent = e.Consistent
+			ps.resultDig = e.ResultDigest
+			ps.writes = e.Writes
+			ps.aborted = e.Aborted
+			progressed = true
+			if n.isDelegate() {
+				if vb, ok := n.vectors[e.TxID]; ok && vb.sent {
+					n.c.Collector.Phase("persist", n.ctx.Now()-vb.start)
+					delete(n.vectors, e.TxID)
+				}
+			}
+		}
+	}
+	if progressed {
+		n.processBlocks()
+	}
+}
+
+// --- Phase 5: commit --------------------------------------------------------
+
+func (n *NormalNode) onBlock(m *BlockMsg) {
+	if _, ok := n.blockBuf[m.Number]; ok || m.Number < n.commitHeight {
+		return
+	}
+	seqs, hashes, err := types.DecodeOrdering(m.Ordering)
+	if err != nil || m.Cert == nil {
+		return
+	}
+	// Verify the 2f+1 certificate (Algo 2 line 9). Modern BFT
+	// deployments aggregate certificates (threshold signatures / batched
+	// verification), so the cost is one signature verification plus a
+	// MAC-rate scan of the shares rather than 2f+1 full verifications.
+	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
+	if m.Cert.Number != m.Number || m.Cert.Digest != types.OrderingDigest(m.Ordering) {
+		return
+	}
+	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {
+		return
+	}
+	for i, h := range hashes {
+		n.agreed[h] = seqs[i]
+		// Evict a conflicting squatter immediately if the agreed payload
+		// is already pooled under a different slot (cannot happen: pool
+		// is hash-unique) or a different transaction occupies the slot
+		// while the agreed payload is known via a previous fetch.
+		if occ, ok := n.pool.at(seqs[i]); ok && occ.ID() != h {
+			n.c.Collector.Conflicts++
+		}
+	}
+	n.blockBuf[m.Number] = &pendingBlock{
+		number: m.Number, seqs: seqs, hashes: hashes, cert: m.Cert, arrived: n.ctx.Now(),
+	}
+	n.processBlocks()
+}
+
+// processBlocks drives the in-order commit pipeline.
+func (n *NormalNode) processBlocks() {
+	for {
+		pb, ok := n.blockBuf[n.commitHeight]
+		if !ok {
+			return
+		}
+		if !n.tryCommitBlock(pb) {
+			return
+		}
+		delete(n.blockBuf, n.commitHeight)
+		n.commitHeight++
+	}
+}
+
+// tryCommitBlock returns true when the block fully committed.
+func (n *NormalNode) tryCommitBlock(pb *pendingBlock) bool {
+	// Step 1: ensure payloads. Relatedness is only knowable with the
+	// payload, so missing ones are fetched from the block's proposer.
+	var missing []types.TxID
+	for _, h := range pb.hashes {
+		if _, ok := n.pool.byID(h); !ok && !n.pool.isCommitted(h) {
+			missing = append(missing, h)
+		}
+	}
+	if len(missing) > 0 {
+		if !pb.fetching {
+			pb.fetching = true
+			target := n.c.ConsNodes[n.c.policy.Leader(pb.cert.View)]
+			n.ctx.Send(target.ep.ID(), &FetchReq{Hashes: missing})
+			// Retry against other consensus nodes if the proposer is
+			// unresponsive.
+			n.ctx.After(4*n.c.Cfg.SeqFlushInterval+2*n.c.Cfg.Topology.IntraLatency, func(c2 *simnet.Context) {
+				n.bind(c2, func() { pb.fetching = false; n.processBlocks() })
+			})
+		}
+		return false
+	}
+
+	// Step 2: classify related entries and detect speculation mismatches.
+	type relEntry struct {
+		seq uint64
+		tx  *types.Transaction
+	}
+	var related []relEntry
+	mismatch := false
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) {
+			continue
+		}
+		tx, _ := n.pool.byID(h)
+		if !n.structOK(tx) {
+			n.invalid[h] = true
+			n.checked[h] = true
+			continue
+		}
+		if !tx.RelatedTo(n.orgName) {
+			continue
+		}
+		seq := pb.seqs[i]
+		if !n.verifyTx(tx) {
+			// Invalid: vote aborted so the persist round completes.
+			if ps := n.persist[seq]; n.isDelegate() && (ps == nil || !ps.persisted) && !pb.executed {
+				n.routeInvalid(seq, tx)
+			}
+			continue
+		}
+		if sr, ok := n.spec[seq]; ok && sr.txID != h {
+			mismatch = true
+		}
+		related = append(related, relEntry{seq: seq, tx: tx})
+	}
+
+	// Step 3: if any related transaction was not cleanly speculated, fall
+	// back to the sequential workflow: discard all speculative state and
+	// re-execute every related transaction of the block in order against
+	// the committed state (§4.3 Phase 5). Executing only the missing ones
+	// against the live overlay would be wrong — the overlay may contain
+	// writes of later-sequenced transactions.
+	if !pb.executed {
+		pb.executed = true
+		clean := !mismatch
+		if clean {
+			for _, re := range related {
+				if sr, ok := n.spec[re.seq]; !ok || sr.txID != re.tx.ID() {
+					clean = false
+					break
+				}
+			}
+		}
+		if clean {
+			n.c.Collector.SpecMatched += uint64(len(related))
+		} else {
+			n.specReset()
+			for _, re := range related {
+				n.ctx.Elapse(n.c.Cfg.Costs.ExecTxn)
+				rw := n.c.Registry.Execute(n.overlay, re.tx, n.nondet)
+				var res OrgResult
+				needResult := false
+				if ps := n.persist[re.seq]; n.isDelegate() && (ps == nil || !ps.persisted) {
+					res = n.makeOrgResult(re.seq, re.tx, rw)
+					needResult = true
+				}
+				n.overlayApply(rw)
+				sr := &specResult{txID: re.tx.ID(), rw: rw}
+				if needResult {
+					sr.orgRes = &res
+				}
+				n.spec[re.seq] = sr
+				n.c.Collector.Reexecuted++
+				if needResult {
+					n.routeOrgResult(re.seq, re.tx, res)
+				}
+			}
+			// Results flushed immediately: commit is waiting on them.
+			n.flushResults()
+		}
+	}
+
+	// Step 4: wait until every valid transaction's result persisted.
+	// Every node applies every committed write set (full world-state
+	// replication, as in HLF), so commit gates on all entries, not only
+	// related ones.
+	stalled := false
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) || n.invalid[h] {
+			continue
+		}
+		ps := n.persist[pb.seqs[i]]
+		if ps == nil || !ps.persisted {
+			stalled = true
+			break
+		}
+	}
+	if stalled {
+		n.armPersistRetry()
+		return false
+	}
+
+	// Step 5: apply and commit.
+	n.ctx.Elapse(n.c.Cfg.Costs.BlockOverhead +
+		time.Duration(len(pb.hashes))*n.c.Cfg.Costs.CommitTxn)
+	notices := make(map[crypto.Identity][]CommitEntry)
+	for i, h := range pb.hashes {
+		if n.pool.isCommitted(h) {
+			continue
+		}
+		seq := pb.seqs[i]
+		tx, _ := n.pool.byID(h)
+		aborted := false
+		if n.invalid[h] {
+			aborted = true
+		} else {
+			ps := n.persist[seq]
+			if ps.consistent && !ps.aborted {
+				n.base.Apply(ps.writes, ledger.Version{Block: pb.number, Tx: i})
+			} else {
+				aborted = true
+				if !ps.consistent {
+					n.c.Collector.NondetAborts++
+				}
+			}
+		}
+		n.pool.markCommitted(h)
+		delete(n.spec, seq)
+		delete(n.arrival, seq)
+		delete(n.persist, seq)
+		// The corresponding org's delegate notifies the client.
+		if n.isDelegate() && tx != nil && orgIndex(tx.CorrespondingOrg()) == n.org {
+			notices[tx.Client] = append(notices[tx.Client], CommitEntry{TxID: h, Aborted: aborted})
+		}
+	}
+	blk := &types.Block{Number: pb.number, Prev: n.blocks.LastDigest(), Seqs: pb.seqs, Hashes: pb.hashes, Cert: pb.cert}
+	if err := n.blocks.Append(blk); err != nil {
+		n.c.safetyViolation("block append: " + err.Error())
+	}
+	n.c.Collector.Phase("commit", n.ctx.Now()-pb.arrived)
+
+	clients := make([]crypto.Identity, 0, len(notices))
+	for cl := range notices {
+		clients = append(clients, cl)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, cl := range clients {
+		if ep, ok := n.c.clientEps[cl]; ok {
+			n.ctx.Send(ep, &CommitNotice{Entries: notices[cl]})
+		}
+	}
+
+	// Resume speculation past the block.
+	if last := pb.seqs[len(pb.seqs)-1]; n.specNext <= last {
+		n.specNext = last + 1
+	}
+	n.trySpeculate()
+	return true
+}
+
+// onChainStatus fetches blocks this node missed (BlockMsg loss recovery).
+func (n *NormalNode) onChainStatus(from simnet.NodeID, m *ChainStatus) {
+	if m.Height <= n.commitHeight || n.blockFetching {
+		return
+	}
+	// Only fetch numbers not already buffered.
+	need := false
+	for num := n.commitHeight; num < m.Height; num++ {
+		if _, ok := n.blockBuf[num]; !ok {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return
+	}
+	n.blockFetching = true
+	n.ctx.Send(from, &BlockFetchReq{From: n.commitHeight, To: m.Height})
+	n.ctx.After(2*n.c.Cfg.BlockTimeout, func(c2 *simnet.Context) {
+		n.bind(c2, func() { n.blockFetching = false })
+	})
+}
+
+func (n *NormalNode) onFetchResp(m *FetchResp) {
+	n.onSeqBatch(&SeqBatch{Txns: m.Txns})
+	n.processBlocks()
+}
+
+// armPersistRetry arms a watchdog over the commit pipeline's head block:
+// while any block is pending, the node periodically re-requests stored
+// PERSIST entries from all consensus nodes, re-routes its own signed
+// partitions, and (as corresponding-org delegate) re-sends completed
+// vectors — recovering persist rounds stalled by packet loss.
+func (n *NormalNode) armPersistRetry() {
+	if n.persistRetryArm {
+		return
+	}
+	n.persistRetryArm = true
+	n.ctx.After(2*n.c.Cfg.BlockTimeout, func(c2 *simnet.Context) {
+		n.bind(c2, func() {
+			n.persistRetryArm = false
+			pb, ok := n.blockBuf[n.commitHeight]
+			if !ok {
+				return // pipeline empty; the next stall re-arms
+			}
+			var stalled []uint64
+			for i, h := range pb.hashes {
+				if n.pool.isCommitted(h) || n.invalid[h] {
+					continue
+				}
+				if ps := n.persist[pb.seqs[i]]; ps == nil || !ps.persisted {
+					// Lazy fallback: a quiet persist round may mean the
+					// transaction is invalid and its related orgs already
+					// moved on. Any node can verify the client signature
+					// itself (normally skipped for unrelated transactions
+					// to save CPU, §4.1); an invalid result unblocks the
+					// commit without a persist round.
+					if tx, ok := n.pool.byID(h); ok && !n.checked[h] {
+						if !n.verifyTx(tx) {
+							continue
+						}
+					}
+					stalled = append(stalled, pb.seqs[i])
+					if tx, ok := n.pool.byID(h); ok && tx.RelatedTo(n.orgName) && n.isDelegate() {
+						if n.invalid[h] {
+							n.routeInvalid(pb.seqs[i], tx)
+						} else if sr, ok := n.spec[pb.seqs[i]]; ok && sr.orgRes != nil {
+							n.routeOrgResult(pb.seqs[i], tx, *sr.orgRes)
+						}
+						if vb, ok := n.vectors[h]; ok && vb.sent {
+							vb.sent = false
+							n.tryFinishVector(tx, vb)
+						}
+					}
+				}
+			}
+			if len(stalled) > 0 {
+				n.c.Collector.RetransmitReqs++
+				n.flushResults()
+				for _, cn := range n.c.ConsNodes {
+					c2.Send(cn.ep.ID(), &PersistFetchReq{Seqs: stalled})
+				}
+			} else {
+				n.processBlocks()
+			}
+			if _, pending := n.blockBuf[n.commitHeight]; pending {
+				n.armPersistRetry()
+			}
+		})
+	})
+}
+
+// onDenyUpdate applies consensus nodes' denylist updates once f+1 distinct
+// nodes vouch for a client (a single Byzantine consensus node must not be
+// able to deny arbitrary clients' speculation).
+func (n *NormalNode) onDenyUpdate(m *DenyUpdate) {
+	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify)
+	if !n.c.Scheme.Verify(cnIdentity(m.Node), denySigningBytes(m.Node, m.Clients), m.Sig) {
+		return
+	}
+	for _, cl := range m.Clients {
+		set := n.denyVotes[cl]
+		if set == nil {
+			set = make(map[int]bool)
+			n.denyVotes[cl] = set
+		}
+		set[m.Node] = true
+		if len(set) >= n.c.Cfg.F+1 {
+			n.deny[cl] = true
+		}
+	}
+}

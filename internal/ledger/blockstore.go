@@ -1,0 +1,83 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// ErrChainBroken is returned when a block does not extend the chain.
+var ErrChainBroken = errors.New("ledger: block does not extend chain")
+
+// BlockStore is an append-only, hash-chained block ledger. Every node
+// maintains one; experiments compare stores across correct nodes to validate
+// the paper's safety guarantee.
+type BlockStore struct {
+	blocks []*types.Block
+	last   crypto.Digest
+}
+
+// NewBlockStore returns an empty chain. The genesis predecessor digest is
+// the zero digest.
+func NewBlockStore() *BlockStore { return &BlockStore{} }
+
+// Height returns the number of appended blocks.
+func (bs *BlockStore) Height() uint64 { return uint64(len(bs.blocks)) }
+
+// LastDigest returns the header digest of the most recent block (zero digest
+// for an empty chain). BIDL uses it as the random seed for leader rotation
+// (§4.6).
+func (bs *BlockStore) LastDigest() crypto.Digest { return bs.last }
+
+// Get returns block n (0-based), or nil if out of range.
+func (bs *BlockStore) Get(n uint64) *types.Block {
+	if n >= uint64(len(bs.blocks)) {
+		return nil
+	}
+	return bs.blocks[n]
+}
+
+// Append validates that b extends the chain (consecutive number, matching
+// previous digest) and appends it.
+func (bs *BlockStore) Append(b *types.Block) error {
+	if b.Number != bs.Height() {
+		return fmt.Errorf("%w: number %d, height %d", ErrChainBroken, b.Number, bs.Height())
+	}
+	if b.Prev != bs.last {
+		return fmt.Errorf("%w: prev digest mismatch at block %d", ErrChainBroken, b.Number)
+	}
+	bs.blocks = append(bs.blocks, b)
+	bs.last = b.HeaderDigest()
+	return nil
+}
+
+// Equal reports whether two chains contain identical block headers.
+func (bs *BlockStore) Equal(o *BlockStore) bool {
+	if bs.Height() != o.Height() {
+		return false
+	}
+	for i := range bs.blocks {
+		if bs.blocks[i].HeaderDigest() != o.blocks[i].HeaderDigest() {
+			return false
+		}
+	}
+	return true
+}
+
+// CommonPrefixEqual reports whether the shorter chain is a prefix of the
+// longer one — the safety property that holds even while nodes are at
+// different heights.
+func (bs *BlockStore) CommonPrefixEqual(o *BlockStore) bool {
+	n := bs.Height()
+	if o.Height() < n {
+		n = o.Height()
+	}
+	for i := uint64(0); i < n; i++ {
+		if bs.blocks[i].HeaderDigest() != o.blocks[i].HeaderDigest() {
+			return false
+		}
+	}
+	return true
+}

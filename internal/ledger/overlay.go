@@ -1,0 +1,68 @@
+package ledger
+
+// Overlay is a speculative view layered over committed State. BIDL normal
+// nodes execute Phase 4 against an overlay: sequential speculative writes
+// land here, later transactions in the same block read through it, and on a
+// consensus mismatch the whole overlay is discarded and the block
+// re-executed (Phase 5 fallback, §4.3).
+type Overlay struct {
+	base *State
+	data map[string]entry
+	dels map[string]bool
+}
+
+// NewOverlay creates an empty overlay over base.
+func NewOverlay(base *State) *Overlay {
+	return &Overlay{
+		base: base,
+		data: make(map[string]entry),
+		dels: make(map[string]bool),
+	}
+}
+
+// Get reads through the overlay: speculative writes win over base state.
+func (o *Overlay) Get(key string) (val []byte, ver Version, ok bool) {
+	if o.dels[key] {
+		return nil, Version{}, false
+	}
+	if e, ok := o.data[key]; ok {
+		return e.val, e.ver, true
+	}
+	return o.base.Get(key)
+}
+
+// Put stages a speculative write.
+func (o *Overlay) Put(key string, val []byte, ver Version) {
+	delete(o.dels, key)
+	o.data[key] = entry{val: val, ver: ver}
+}
+
+// Delete stages a speculative deletion.
+func (o *Overlay) Delete(key string) {
+	delete(o.data, key)
+	o.dels[key] = true
+}
+
+// Pending reports the number of staged writes and deletions.
+func (o *Overlay) Pending() int { return len(o.data) + len(o.dels) }
+
+// Discard drops all speculative changes (fallback to sequential workflow).
+func (o *Overlay) Discard() {
+	o.data = make(map[string]entry)
+	o.dels = make(map[string]bool)
+}
+
+// Commit flushes all speculative changes into the base state and resets the
+// overlay.
+func (o *Overlay) Commit() {
+	for k, e := range o.data {
+		o.base.Put(k, e.val, e.ver)
+	}
+	for k := range o.dels {
+		o.base.Delete(k)
+	}
+	o.Discard()
+}
+
+// Base returns the committed state beneath the overlay.
+func (o *Overlay) Base() *State { return o.base }

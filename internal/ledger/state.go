@@ -1,0 +1,95 @@
+// Package ledger implements the storage substrate shared by BIDL and the
+// baseline frameworks: a versioned key-value world state (Hyperledger
+// Fabric-style), read-write sets with MVCC validation, a speculative overlay
+// used by BIDL's Phase 4, and an append-only hash-chained block store.
+package ledger
+
+import (
+	"sort"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+)
+
+// Version identifies the transaction that last wrote a key: the HLF-style
+// (block, txNum) pair used by MVCC validation.
+type Version struct {
+	Block uint64
+	Tx    int
+}
+
+// Less orders versions by block then transaction index.
+func (v Version) Less(o Version) bool {
+	if v.Block != o.Block {
+		return v.Block < o.Block
+	}
+	return v.Tx < o.Tx
+}
+
+type entry struct {
+	val []byte
+	ver Version
+}
+
+// State is the committed world state: a versioned key-value store.
+// It is single-writer by construction (one simulated node owns it).
+type State struct {
+	data map[string]entry
+}
+
+// NewState returns an empty world state.
+func NewState() *State {
+	return &State{data: make(map[string]entry)}
+}
+
+// Get returns the value and version for key, with ok=false if absent.
+func (s *State) Get(key string) (val []byte, ver Version, ok bool) {
+	e, ok := s.data[key]
+	return e.val, e.ver, ok
+}
+
+// Put writes key=val at version ver.
+func (s *State) Put(key string, val []byte, ver Version) {
+	s.data[key] = entry{val: val, ver: ver}
+}
+
+// Delete removes key.
+func (s *State) Delete(key string) { delete(s.data, key) }
+
+// Len returns the number of live keys.
+func (s *State) Len() int { return len(s.data) }
+
+// Apply installs a write set at the given version.
+func (s *State) Apply(writes []Write, ver Version) {
+	for _, w := range writes {
+		if w.Delete {
+			delete(s.data, w.Key)
+		} else {
+			s.data[w.Key] = entry{val: w.Val, ver: ver}
+		}
+	}
+}
+
+// Digest returns a deterministic hash of the entire state (keys sorted).
+// Experiments use it to assert that all correct nodes' states never diverge
+// (the paper's safety guarantee, §3.1).
+func (s *State) Digest() crypto.Digest {
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([][]byte, 0, len(keys)*2)
+	for _, k := range keys {
+		parts = append(parts, []byte(k), s.data[k].val)
+	}
+	return crypto.HashAll(parts...)
+}
+
+// Clone deep-copies the state (values are copied).
+func (s *State) Clone() *State {
+	c := NewState()
+	for k, e := range s.data {
+		c.data[k] = entry{val: append([]byte(nil), e.val...), ver: e.ver}
+	}
+	return c
+}

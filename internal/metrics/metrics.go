@@ -1,0 +1,202 @@
+// Package metrics collects per-transaction and per-phase measurements from a
+// simulated blockchain run: client-perceived latency (submit → commit
+// notification, the paper's end-to-end metric, §6), effective throughput
+// (valid committed transactions per second, §6.2), abort and re-execution
+// counters, per-phase latency breakdowns (Tables 2 and 3), and a real-time
+// throughput timeline (Fig 7).
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Collector accumulates measurements. It is used from inside the
+// single-threaded simulation loop and needs no locking.
+type Collector struct {
+	submitted map[types.TxID]time.Duration
+	committed map[types.TxID]time.Duration
+	aborted   map[types.TxID]bool
+
+	// phase accumulates total duration and sample count per named phase.
+	phaseTotal map[string]time.Duration
+	phaseCount map[string]int
+
+	// counters
+	Reexecuted     uint64 // transactions re-executed in commit fallback
+	Speculated     uint64 // transactions executed speculatively
+	SpecMatched    uint64 // speculations confirmed by consensus
+	Conflicts      uint64 // sequence-space conflicts observed
+	ViewChanges    uint64
+	DeniedClients  uint64
+	MVCCAborts     uint64 // HLF/FF validation aborts (contention)
+	NondetAborts   uint64 // result-vector mismatches (non-determinism)
+	RejectedTxns   uint64 // malformed/invalid submissions dropped
+	RetransmitReqs uint64 // payload fetches due to loss
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		submitted:  make(map[types.TxID]time.Duration),
+		committed:  make(map[types.TxID]time.Duration),
+		aborted:    make(map[types.TxID]bool),
+		phaseTotal: make(map[string]time.Duration),
+		phaseCount: make(map[string]int),
+	}
+}
+
+// Submitted records that tx was handed to the framework at time at.
+func (c *Collector) Submitted(id types.TxID, at time.Duration) {
+	if _, ok := c.submitted[id]; !ok {
+		c.submitted[id] = at
+	}
+}
+
+// Committed records the first commit notification for id. aborted marks
+// transactions that committed as aborts (no state change). Commits of
+// transactions never submitted through the collector (e.g. an adversary's
+// own traffic) are ignored: effective throughput counts client
+// transactions (§6.2).
+func (c *Collector) Committed(id types.TxID, at time.Duration, aborted bool) {
+	if _, ok := c.submitted[id]; !ok {
+		return
+	}
+	if _, ok := c.committed[id]; ok {
+		return
+	}
+	c.committed[id] = at
+	if aborted {
+		c.aborted[id] = true
+	}
+}
+
+// IsCommitted reports whether id has a recorded commit.
+func (c *Collector) IsCommitted(id types.TxID) bool {
+	_, ok := c.committed[id]
+	return ok
+}
+
+// Phase accumulates one sample of a named phase duration.
+func (c *Collector) Phase(name string, d time.Duration) {
+	c.phaseTotal[name] += d
+	c.phaseCount[name]++
+}
+
+// PhaseAvg returns the mean duration of a named phase.
+func (c *Collector) PhaseAvg(name string) time.Duration {
+	n := c.phaseCount[name]
+	if n == 0 {
+		return 0
+	}
+	return c.phaseTotal[name] / time.Duration(n)
+}
+
+// NumSubmitted returns the number of distinct submitted transactions.
+func (c *Collector) NumSubmitted() int { return len(c.submitted) }
+
+// NumCommitted returns the number of distinct committed transactions
+// (including aborted ones).
+func (c *Collector) NumCommitted() int { return len(c.committed) }
+
+// NumAborted returns the number of transactions committed as aborts.
+func (c *Collector) NumAborted() int { return len(c.aborted) }
+
+// AbortRate returns aborted / committed.
+func (c *Collector) AbortRate() float64 {
+	if len(c.committed) == 0 {
+		return 0
+	}
+	return float64(len(c.aborted)) / float64(len(c.committed))
+}
+
+// EffectiveThroughput returns valid (non-aborted) committed transactions per
+// second within [from, to).
+func (c *Collector) EffectiveThroughput(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	n := 0
+	for id, at := range c.committed {
+		if at >= from && at < to && !c.aborted[id] {
+			n++
+		}
+	}
+	return float64(n) / to.Seconds() * (float64(to) / float64(to-from))
+}
+
+// latencies returns sorted commit latencies for transactions committed in
+// [from, to).
+func (c *Collector) latencies(from, to time.Duration) []time.Duration {
+	var ls []time.Duration
+	for id, at := range c.committed {
+		if at < from || at >= to {
+			continue
+		}
+		if sub, ok := c.submitted[id]; ok {
+			ls = append(ls, at-sub)
+		}
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	return ls
+}
+
+// AvgLatency returns the mean commit latency over [from, to).
+func (c *Collector) AvgLatency(from, to time.Duration) time.Duration {
+	ls := c.latencies(from, to)
+	if len(ls) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range ls {
+		sum += l
+	}
+	return sum / time.Duration(len(ls))
+}
+
+// PercentileLatency returns the p-quantile (0 < p <= 1) latency in [from,to).
+func (c *Collector) PercentileLatency(p float64, from, to time.Duration) time.Duration {
+	ls := c.latencies(from, to)
+	if len(ls) == 0 {
+		return 0
+	}
+	idx := int(p*float64(len(ls))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ls) {
+		idx = len(ls) - 1
+	}
+	return ls[idx]
+}
+
+// Timeline buckets committed valid transactions into windows of the given
+// width over [0, horizon) and returns each bucket as a txns/s rate — the
+// real-time throughput curve of Fig 7.
+func (c *Collector) Timeline(width, horizon time.Duration) []float64 {
+	n := int(horizon / width)
+	if n <= 0 {
+		return nil
+	}
+	buckets := make([]float64, n)
+	for id, at := range c.committed {
+		if c.aborted[id] || at >= horizon {
+			continue
+		}
+		buckets[int(at/width)]++
+	}
+	for i := range buckets {
+		buckets[i] /= width.Seconds()
+	}
+	return buckets
+}
+
+// SpecSuccessRate returns confirmed speculations / total speculations.
+func (c *Collector) SpecSuccessRate() float64 {
+	if c.Speculated == 0 {
+		return 0
+	}
+	return float64(c.SpecMatched) / float64(c.Speculated)
+}

@@ -1,0 +1,478 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies an endpoint within a Network.
+type NodeID int
+
+// Message is anything deliverable across the network. Size is used for
+// serialization delay on bandwidth-limited links and for traffic accounting.
+type Message interface {
+	Size() int
+}
+
+// Handler receives messages and timer callbacks at an endpoint.
+type Handler interface {
+	OnMessage(ctx *Context, from NodeID, msg Message)
+}
+
+// Starter is implemented by handlers that want a callback when the
+// simulation starts (scheduled at time zero on the endpoint's own core).
+type Starter interface {
+	OnStart(ctx *Context)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Context, from NodeID, msg Message)
+
+// OnMessage implements Handler.
+func (f HandlerFunc) OnMessage(ctx *Context, from NodeID, msg Message) { f(ctx, from, msg) }
+
+// delivery is a message (or timer) waiting in an endpoint's inbox.
+type delivery struct {
+	from  NodeID
+	msg   Message
+	timer func(*Context)
+}
+
+// EndpointStats accumulates per-endpoint counters.
+type EndpointStats struct {
+	Received   uint64
+	Dropped    uint64
+	Sent       uint64
+	BytesSent  uint64
+	BytesRecvd uint64
+	BusyTime   time.Duration
+	MaxQueue   int
+}
+
+// Endpoint models a node with a single dedicated CPU core and one NIC.
+// Deliveries queue FIFO and the handler processes them serially; the virtual
+// CPU time a handler charges (Context.Elapse) delays subsequent deliveries,
+// which is how stage bottlenecks arise in simulations.
+type Endpoint struct {
+	id      NodeID
+	name    string
+	dc      int
+	net     *Network
+	handler Handler
+
+	queue      []delivery
+	processing bool
+	down       bool
+
+	// egressFree is when the NIC finishes serializing the last message.
+	egressFree time.Duration
+
+	stats EndpointStats
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Name returns the human-readable name given at registration.
+func (e *Endpoint) Name() string { return e.name }
+
+// DC returns the datacenter index the endpoint lives in.
+func (e *Endpoint) DC() int { return e.dc }
+
+// Stats returns a copy of the endpoint's counters.
+func (e *Endpoint) Stats() EndpointStats { return e.stats }
+
+// SetDown marks the endpoint crashed (true) or alive (false). A crashed
+// endpoint silently drops all deliveries, including its own timers.
+func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// QueueLen reports the inbox backlog (for monitoring/backpressure tests).
+func (e *Endpoint) QueueLen() int { return len(e.queue) }
+
+// Network connects endpoints according to a Topology.
+type Network struct {
+	sim       *Sim
+	topo      Topology
+	endpoints []*Endpoint
+	groups    map[string][]NodeID
+
+	// pipeFree tracks when the shared inter-DC pipe for an ordered DC pair
+	// becomes free; keyed by fromDC*4096+toDC.
+	pipeFree map[int]time.Duration
+
+	// LatencyOverride, when non-nil, replaces the topology latency for a
+	// given endpoint pair. Used by tests and by adversarial scenarios that
+	// need to violate the triangle inequality on specific paths.
+	LatencyOverride func(from, to NodeID) (time.Duration, bool)
+
+	// DropFilter, when non-nil, can force-drop specific messages
+	// (targeted partition/censorship scenarios). Return true to drop.
+	DropFilter func(from, to NodeID, msg Message) bool
+
+	totalMessages uint64
+	totalBytes    uint64
+	interDCBytes  uint64
+}
+
+// NewNetwork creates a network over the given simulator and topology.
+func NewNetwork(sim *Sim, topo Topology) *Network {
+	return &Network{
+		sim:      sim,
+		topo:     topo,
+		groups:   make(map[string][]NodeID),
+		pipeFree: make(map[int]time.Duration),
+	}
+}
+
+// Sim returns the underlying simulator.
+func (n *Network) Sim() *Sim { return n.sim }
+
+// Topology returns the network's topology parameters.
+func (n *Network) Topology() Topology { return n.topo }
+
+// SetTopology replaces link parameters mid-simulation (used by experiments
+// that change loss or bandwidth on the fly).
+func (n *Network) SetTopology(t Topology) { n.topo = t }
+
+// TotalMessages reports how many messages have been accepted for delivery.
+func (n *Network) TotalMessages() uint64 { return n.totalMessages }
+
+// TotalBytes reports the total bytes accepted for delivery.
+func (n *Network) TotalBytes() uint64 { return n.totalBytes }
+
+// InterDCBytes reports bytes that crossed datacenter boundaries.
+func (n *Network) InterDCBytes() uint64 { return n.interDCBytes }
+
+// Register adds an endpoint in datacenter dc with the given handler and
+// returns it. If the handler implements Starter, OnStart fires at time zero.
+func (n *Network) Register(name string, dc int, h Handler) *Endpoint {
+	e := &Endpoint{id: NodeID(len(n.endpoints)), name: name, dc: dc, net: n, handler: h}
+	n.endpoints = append(n.endpoints, e)
+	if s, ok := h.(Starter); ok {
+		n.sim.At(0, func() {
+			if e.down {
+				return
+			}
+			e.enqueue(delivery{from: e.id, timer: s.OnStart})
+		})
+	}
+	return e
+}
+
+// Endpoint returns the endpoint with the given ID, or nil.
+func (n *Network) Endpoint(id NodeID) *Endpoint {
+	if int(id) < 0 || int(id) >= len(n.endpoints) {
+		return nil
+	}
+	return n.endpoints[id]
+}
+
+// NumEndpoints returns the number of registered endpoints.
+func (n *Network) NumEndpoints() int { return len(n.endpoints) }
+
+// Join adds an endpoint to a named multicast group.
+func (n *Network) Join(group string, id NodeID) {
+	for _, m := range n.groups[group] {
+		if m == id {
+			return
+		}
+	}
+	n.groups[group] = append(n.groups[group], id)
+}
+
+// Leave removes an endpoint from a multicast group.
+func (n *Network) Leave(group string, id NodeID) {
+	ms := n.groups[group]
+	for i, m := range ms {
+		if m == id {
+			n.groups[group] = append(ms[:i:i], ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// Group returns the members of a multicast group.
+func (n *Network) Group(group string) []NodeID { return n.groups[group] }
+
+// send schedules msg from 'from' to 'to', departing at depart.
+// unicastSerialize indicates the sender pays NIC serialization for this copy
+// (true for unicast and for the single multicast emission).
+func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Duration, paySerialization bool) {
+	dst := n.Endpoint(to)
+	if dst == nil {
+		panic(fmt.Sprintf("simnet: send to unknown endpoint %d", to))
+	}
+	size := msg.Size()
+	n.totalMessages++
+	n.totalBytes += uint64(size)
+	from.stats.Sent++
+	from.stats.BytesSent += uint64(size)
+
+	// NIC egress serialization.
+	txDone := depart
+	if paySerialization && n.topo.NICBandwidth > 0 {
+		start := depart
+		if from.egressFree > start {
+			start = from.egressFree
+		}
+		txDone = start + time.Duration(float64(size)/float64(n.topo.NICBandwidth)*float64(time.Second))
+		from.egressFree = txDone
+	}
+
+	if n.DropFilter != nil && n.DropFilter(from.id, to, msg) {
+		dst.stats.Dropped++
+		return
+	}
+	// Random loss, independent per receiver.
+	if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
+		dst.stats.Dropped++
+		return
+	}
+
+	arrive := txDone + n.pathLatency(from, dst)
+
+	// Shared inter-DC pipe serialization.
+	if from.dc != dst.dc {
+		n.interDCBytes += uint64(size)
+		if n.topo.InterDCBandwidth > 0 {
+			key := from.dc*4096 + dst.dc
+			start := txDone
+			if n.pipeFree[key] > start {
+				start = n.pipeFree[key]
+			}
+			done := start + time.Duration(float64(size)/float64(n.topo.InterDCBandwidth)*float64(time.Second))
+			n.pipeFree[key] = done
+			arrive = done + n.pathLatency(from, dst)
+		}
+	}
+
+	n.sim.At(arrive, func() {
+		if dst.down {
+			dst.stats.Dropped++
+			return
+		}
+		dst.stats.Received++
+		dst.stats.BytesRecvd += uint64(size)
+		dst.enqueue(delivery{from: from.id, msg: msg})
+	})
+}
+
+// multicastSend performs an IP-multicast emission: the sender pays NIC
+// serialization once, and a shared inter-DC pipe carries the payload once per
+// destination datacenter (the router replicates it), exactly the property
+// that makes Fig 9's multicast optimization matter.
+func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, depart time.Duration) {
+	size := msg.Size()
+	txDone := depart
+	if n.topo.NICBandwidth > 0 {
+		start := depart
+		if from.egressFree > start {
+			start = from.egressFree
+		}
+		txDone = start + time.Duration(float64(size)/float64(n.topo.NICBandwidth)*float64(time.Second))
+		from.egressFree = txDone
+	}
+	from.stats.Sent++
+	from.stats.BytesSent += uint64(size)
+	n.totalMessages += uint64(len(targets))
+	n.totalBytes += uint64(size)
+
+	// Pay each inter-DC pipe once.
+	pipeDone := make(map[int]time.Duration)
+	if n.topo.InterDCBandwidth > 0 {
+		seen := make(map[int]bool)
+		for _, t := range targets {
+			dst := n.Endpoint(t)
+			if dst == nil || dst.dc == from.dc || seen[dst.dc] {
+				continue
+			}
+			seen[dst.dc] = true
+			key := from.dc*4096 + dst.dc
+			start := txDone
+			if n.pipeFree[key] > start {
+				start = n.pipeFree[key]
+			}
+			done := start + time.Duration(float64(size)/float64(n.topo.InterDCBandwidth)*float64(time.Second))
+			n.pipeFree[key] = done
+			pipeDone[dst.dc] = done
+			n.interDCBytes += uint64(size)
+		}
+	} else {
+		for _, t := range targets {
+			dst := n.Endpoint(t)
+			if dst != nil && dst.dc != from.dc {
+				n.interDCBytes += uint64(size)
+			}
+		}
+	}
+
+	for _, t := range targets {
+		if t == from.id {
+			continue
+		}
+		dst := n.Endpoint(t)
+		if dst == nil {
+			continue
+		}
+		if n.DropFilter != nil && n.DropFilter(from.id, t, msg) {
+			dst.stats.Dropped++
+			continue
+		}
+		if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
+			dst.stats.Dropped++
+			continue
+		}
+		ready := txDone
+		if d, ok := pipeDone[dst.dc]; ok {
+			ready = d
+		}
+		arrive := ready + n.pathLatency(from, dst)
+		d := dst
+		n.sim.At(arrive, func() {
+			if d.down {
+				d.stats.Dropped++
+				return
+			}
+			d.stats.Received++
+			d.stats.BytesRecvd += uint64(size)
+			d.enqueue(delivery{from: from.id, msg: msg})
+		})
+	}
+}
+
+func (n *Network) pathLatency(from, to *Endpoint) time.Duration {
+	var base time.Duration
+	if n.LatencyOverride != nil {
+		if d, ok := n.LatencyOverride(from.id, to.id); ok {
+			base = d
+		} else {
+			base = n.topo.latency(from.dc, to.dc)
+		}
+	} else {
+		base = n.topo.latency(from.dc, to.dc)
+	}
+	if n.topo.Jitter > 0 {
+		base += time.Duration(n.sim.rng.Int63n(int64(n.topo.Jitter)))
+	}
+	return base
+}
+
+// enqueue adds a delivery to the endpoint's inbox and kicks the processor.
+func (e *Endpoint) enqueue(d delivery) {
+	e.queue = append(e.queue, d)
+	if len(e.queue) > e.stats.MaxQueue {
+		e.stats.MaxQueue = len(e.queue)
+	}
+	if !e.processing {
+		e.processNext()
+	}
+}
+
+// processNext runs the handler on the head-of-queue delivery. The virtual CPU
+// time charged by the handler defers processing of the next delivery.
+func (e *Endpoint) processNext() {
+	if len(e.queue) == 0 {
+		e.processing = false
+		return
+	}
+	e.processing = true
+	d := e.queue[0]
+	e.queue = e.queue[1:]
+	ctx := &Context{net: e.net, node: e, start: e.net.sim.Now()}
+	if e.down {
+		e.net.sim.At(e.net.sim.Now(), func() { e.processNext() })
+		return
+	}
+	if d.timer != nil {
+		d.timer(ctx)
+	} else {
+		e.handler.OnMessage(ctx, d.from, d.msg)
+	}
+	e.stats.BusyTime += ctx.elapsed
+	e.net.sim.After(ctx.elapsed, func() { e.processNext() })
+}
+
+// NewInjectedContext returns a context for injecting activity into an
+// endpoint from outside a handler (tests, experiment drivers, workload
+// generators). The activation starts at the current virtual time and does
+// not queue behind the endpoint's core.
+func NewInjectedContext(net *Network, ep *Endpoint) *Context {
+	return &Context{net: net, node: ep, start: net.sim.Now()}
+}
+
+// Context is passed to handlers; it tracks virtual CPU time consumed by the
+// current activation and timestamps outgoing messages accordingly.
+type Context struct {
+	net     *Network
+	node    *Endpoint
+	start   time.Duration
+	elapsed time.Duration
+}
+
+// Now returns the current virtual time as seen by the handler: activation
+// start plus CPU time charged so far.
+func (c *Context) Now() time.Duration { return c.start + c.elapsed }
+
+// Self returns the endpoint's node ID.
+func (c *Context) Self() NodeID { return c.node.id }
+
+// Node returns the endpoint being activated.
+func (c *Context) Node() *Endpoint { return c.node }
+
+// Network returns the network.
+func (c *Context) Network() *Network { return c.net }
+
+// Rand exposes the simulation's deterministic randomness.
+func (c *Context) Rand() *rand.Rand { return c.net.sim.rng }
+
+// Elapse charges d of virtual CPU time to this activation: later sends from
+// this activation depart after it, and the endpoint's next delivery is
+// processed only once the charged time has passed.
+func (c *Context) Elapse(d time.Duration) {
+	if d > 0 {
+		c.elapsed += d
+	}
+}
+
+// Send transmits msg to a single destination.
+func (c *Context) Send(to NodeID, msg Message) {
+	c.net.send(c.node, to, msg, c.Now(), true)
+}
+
+// SendWithoutSerialization transmits without charging NIC serialization;
+// used to model offloaded/line-rate devices such as the DPDK sequencer.
+func (c *Context) SendWithoutSerialization(to NodeID, msg Message) {
+	c.net.send(c.node, to, msg, c.Now(), false)
+}
+
+// Multicast emits msg once to every member of a named group (IP multicast):
+// single NIC serialization, single inter-DC pipe crossing per datacenter.
+func (c *Context) Multicast(group string, msg Message) {
+	targets := c.net.groups[group]
+	c.net.multicastSend(c.node, targets, msg, c.Now())
+}
+
+// MulticastUnicast emulates disabling IP multicast: the message is sent as
+// len(group) independent unicasts, each paying serialization and pipe
+// bandwidth (the "BIDL-opt-disabled" configuration of Fig 9).
+func (c *Context) MulticastUnicast(group string, msg Message) {
+	for _, t := range c.net.groups[group] {
+		if t == c.node.id {
+			continue
+		}
+		c.net.send(c.node, t, msg, c.Now(), true)
+	}
+}
+
+// After schedules fn to run on this endpoint's core d from now. The callback
+// queues like any other delivery, so a busy core delays it.
+func (c *Context) After(d time.Duration, fn func(*Context)) {
+	node := c.node
+	c.net.sim.At(c.Now()+d, func() {
+		if node.down {
+			return
+		}
+		node.enqueue(delivery{from: node.id, timer: fn})
+	})
+}

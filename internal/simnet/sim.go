@@ -1,0 +1,121 @@
+// Package simnet provides a deterministic discrete-event simulation of a
+// datacenter network: a virtual clock, an event queue, endpoints that model
+// single-core nodes, and links with configurable propagation latency,
+// bandwidth (serialization delay), shared inter-datacenter pipes, jitter,
+// and packet loss.
+//
+// All of BIDL and its baseline frameworks run on top of this substrate, which
+// replaces the paper's 20-server, 40 Gbps testbed. Virtual time makes every
+// experiment deterministic: the same seed yields the same commit sequence.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled closure. Events at the same instant fire in the order
+// they were scheduled (seq tie-break), which keeps simulations deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock.
+// It is not safe for concurrent use; all node logic runs inside the event
+// loop on a single goroutine.
+type Sim struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	nEvents uint64
+}
+
+// NewSim returns a simulator whose randomness is derived entirely from seed.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Events reports how many events have been executed so far.
+func (s *Sim) Events() uint64 { return s.nEvents }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Stop halts the event loop after the currently running event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Sim) Run() {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.nEvents++
+		e.fn()
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to t.
+// Events scheduled beyond t remain queued so the simulation can be resumed.
+func (s *Sim) RunUntil(t time.Duration) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > t {
+			break
+		}
+		e := heap.Pop(&s.events).(*event)
+		s.now = e.at
+		s.nEvents++
+		e.fn()
+	}
+	if !s.stopped && s.now < t {
+		s.now = t
+	}
+}

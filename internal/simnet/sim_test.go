@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 3*time.Millisecond {
+		t.Fatalf("clock = %v, want 3ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.After(time.Millisecond, func() {
+		s.After(time.Millisecond, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("nested event did not fire")
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("clock = %v, want 2ms", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := NewSim(1)
+	s.After(2*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms", s.Now())
+	}
+	s.RunUntil(20 * time.Millisecond)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock advanced to %v, want 20ms", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewSim(42), NewSim(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different random streams")
+		}
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", s.Now())
+	}
+}

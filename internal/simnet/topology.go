@@ -1,0 +1,62 @@
+package simnet
+
+import "time"
+
+// Bandwidth values are in bytes per second. The paper's 40 Gbps NICs are
+// 5e9 B/s.
+const (
+	Gbps = int64(1e9 / 8)
+	Mbps = int64(1e6 / 8)
+)
+
+// Topology describes the datacenter layout and link characteristics.
+// Endpoints are assigned to datacenters at registration time; latency and
+// bandwidth between two endpoints are derived from their datacenter pair.
+type Topology struct {
+	// IntraLatency is the one-way propagation delay between two endpoints
+	// in the same datacenter. The paper's cluster has 0.2 ms RTT.
+	IntraLatency time.Duration
+	// InterLatency is the one-way propagation delay between endpoints in
+	// different datacenters (paper §6.4 uses 20 ms RTT).
+	InterLatency time.Duration
+	// NICBandwidth is each endpoint's egress capacity (bytes/s).
+	// Zero means unlimited.
+	NICBandwidth int64
+	// InterDCBandwidth, when non-zero, models a shared dedicated pipe per
+	// ordered datacenter pair: all traffic from DC a to DC b serializes on
+	// one link of this capacity (bytes/s). This is the knob behind Fig 9.
+	InterDCBandwidth int64
+	// Jitter adds a uniform random [0, Jitter) delay to every message's
+	// propagation. Large jitter can violate the triangle inequality, which
+	// is what the denylist false-positive analysis (§5.2) depends on.
+	Jitter time.Duration
+	// LossRate is the independent per-message per-receiver drop
+	// probability in [0, 1).
+	LossRate float64
+}
+
+// DefaultTopology mirrors the paper's evaluation cluster: one datacenter,
+// 0.2 ms RTT, 40 Gbps NICs, no loss.
+func DefaultTopology() Topology {
+	return Topology{
+		IntraLatency: 100 * time.Microsecond,
+		InterLatency: 10 * time.Millisecond,
+		NICBandwidth: 40 * Gbps,
+	}
+}
+
+// MultiDCTopology mirrors the §6.4 setup: several datacenters connected by
+// dedicated cables with 20 ms RTT and a shared bandwidth cap per direction.
+func MultiDCTopology(interDCBandwidth int64) Topology {
+	t := DefaultTopology()
+	t.InterDCBandwidth = interDCBandwidth
+	return t
+}
+
+// latency returns the one-way propagation delay between two datacenters.
+func (t Topology) latency(fromDC, toDC int) time.Duration {
+	if fromDC == toDC {
+		return t.IntraLatency
+	}
+	return t.InterLatency
+}

@@ -1,0 +1,73 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+)
+
+func TestOrderingRoundTrip(t *testing.T) {
+	seqs := []uint64{5, 9, 100}
+	hashes := []TxID{crypto.Hash([]byte("a")), crypto.Hash([]byte("b")), crypto.Hash([]byte("c"))}
+	buf := EncodeOrdering(seqs, hashes)
+	s2, h2, err := DecodeOrdering(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqs {
+		if s2[i] != seqs[i] || h2[i] != hashes[i] {
+			t.Fatal("round trip mismatch")
+		}
+	}
+}
+
+func TestOrderingEmpty(t *testing.T) {
+	buf := EncodeOrdering(nil, nil)
+	s, h, err := DecodeOrdering(buf)
+	if err != nil || len(s) != 0 || len(h) != 0 {
+		t.Fatalf("empty ordering: %v %v %v", s, h, err)
+	}
+}
+
+func TestOrderingCorrupt(t *testing.T) {
+	buf := EncodeOrdering([]uint64{1}, []TxID{crypto.Hash([]byte("x"))})
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeOrdering(buf[:i]); err == nil {
+			t.Fatalf("prefix %d decoded", i)
+		}
+	}
+	if _, _, err := DecodeOrdering(append(buf, 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestPropertyOrderingRoundTrip(t *testing.T) {
+	f := func(seqs []uint64) bool {
+		hashes := make([]TxID, len(seqs))
+		for i, s := range seqs {
+			hashes[i] = crypto.Hash([]byte{byte(s), byte(s >> 8), byte(i)})
+		}
+		s2, h2, err := DecodeOrdering(EncodeOrdering(seqs, hashes))
+		if err != nil || len(s2) != len(seqs) {
+			return false
+		}
+		for i := range seqs {
+			if s2[i] != seqs[i] || h2[i] != hashes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingDigestBindsContent(t *testing.T) {
+	a := EncodeOrdering([]uint64{1}, []TxID{crypto.Hash([]byte("a"))})
+	b := EncodeOrdering([]uint64{2}, []TxID{crypto.Hash([]byte("a"))})
+	if OrderingDigest(a) == OrderingDigest(b) {
+		t.Fatal("digest ignores sequence numbers")
+	}
+}

@@ -1,0 +1,180 @@
+// Package types defines the wire-level data structures shared by BIDL and
+// the baseline frameworks: client transactions, sequenced transactions,
+// blocks, and quorum certificates, together with a compact binary codec so
+// that simulated message sizes reflect a real serialization format.
+package types
+
+import (
+	"github.com/bidl-framework/bidl/internal/crypto"
+)
+
+// TxID is the SHA-256 digest identifying a transaction (its replay-check and
+// consensus-on-hash handle, §4.1/§6).
+type TxID = crypto.Digest
+
+// DefaultTxPadding pads encoded transactions to roughly the paper's default
+// 1 KB transaction size.
+const DefaultTxPadding = 840
+
+// Transaction is a client-signed request: ⟨Txn, 𝒯, O, v, pk⟩σc in the
+// paper's notation (§4.1). The contract invocation (Contract/Fn/Args) is the
+// payload 𝒯; Orgs is the related-organization list O; View is v.
+type Transaction struct {
+	// Client is the submitting client's identity (stands in for pk; the
+	// membership registry maps identities to keys).
+	Client crypto.Identity
+	// Nonce makes otherwise-identical invocations distinct.
+	Nonce uint64
+	// View is the view number the client fetched before submitting.
+	View uint64
+	// Contract and Fn name the smart contract and function to invoke.
+	Contract string
+	Fn       string
+	// Args are the invocation arguments.
+	Args [][]byte
+	// Orgs lists the related organizations; the first is the corresponding
+	// organization o_c whose delegate drives the persist protocol (§4.4).
+	Orgs []string
+	// Padding models payload bytes beyond the structured fields, so that
+	// encoded transactions match the paper's ~1 KB default.
+	Padding uint32
+	// Sig is the client's signature over SigningBytes.
+	Sig crypto.Signature
+
+	id    TxID
+	hasID bool
+}
+
+// SigningBytes returns the canonical encoding covered by the client
+// signature (everything except the signature itself).
+func (t *Transaction) SigningBytes() []byte {
+	var e enc
+	t.encodeBody(&e)
+	return e.buf
+}
+
+func (t *Transaction) encodeBody(e *enc) {
+	e.str(string(t.Client))
+	e.u64(t.Nonce)
+	e.u64(t.View)
+	e.str(t.Contract)
+	e.str(t.Fn)
+	e.u32(uint32(len(t.Args)))
+	for _, a := range t.Args {
+		e.bytes(a)
+	}
+	e.u32(uint32(len(t.Orgs)))
+	for _, o := range t.Orgs {
+		e.str(o)
+	}
+	e.u32(t.Padding)
+}
+
+// Marshal encodes the transaction including its signature.
+func (t *Transaction) Marshal() []byte {
+	var e enc
+	t.encodeBody(&e)
+	e.bytes(t.Sig)
+	return e.buf
+}
+
+// UnmarshalTransaction decodes a transaction produced by Marshal.
+func UnmarshalTransaction(buf []byte) (*Transaction, error) {
+	d := &dec{buf: buf}
+	t, err := decodeTransaction(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func decodeTransaction(d *dec) (*Transaction, error) {
+	t := &Transaction{}
+	t.Client = crypto.Identity(d.str())
+	t.Nonce = d.u64()
+	t.View = d.u64()
+	t.Contract = d.str()
+	t.Fn = d.str()
+	n := d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		t.Args = append(t.Args, d.bytes())
+	}
+	n = d.count()
+	for i := 0; i < n && d.err == nil; i++ {
+		t.Orgs = append(t.Orgs, d.str())
+	}
+	t.Padding = d.u32()
+	t.Sig = crypto.Signature(d.bytes())
+	if d.err != nil {
+		return nil, d.err
+	}
+	return t, nil
+}
+
+// ID returns the transaction's digest over the signed bytes. It is cached:
+// transactions are immutable once signed.
+func (t *Transaction) ID() TxID {
+	if !t.hasID {
+		t.id = crypto.Hash(t.SigningBytes())
+		t.hasID = true
+	}
+	return t.id
+}
+
+// Size returns the wire size in bytes, including padding, for bandwidth
+// accounting.
+func (t *Transaction) Size() int {
+	// Structured fields plus declared padding.
+	return len(t.Marshal()) + int(t.Padding)
+}
+
+// Sign signs the transaction as its client using the given scheme, caching
+// the resulting ID.
+func (t *Transaction) Sign(scheme crypto.Scheme) error {
+	sig, err := scheme.Sign(t.Client, t.SigningBytes())
+	if err != nil {
+		return err
+	}
+	t.Sig = sig
+	t.hasID = false
+	t.ID()
+	return nil
+}
+
+// VerifySig reports whether the client signature is valid.
+func (t *Transaction) VerifySig(scheme crypto.Scheme) bool {
+	return scheme.Verify(t.Client, t.SigningBytes(), t.Sig)
+}
+
+// CorrespondingOrg returns the first related organization (o_c, §4.4), or ""
+// if the transaction names none.
+func (t *Transaction) CorrespondingOrg() string {
+	if len(t.Orgs) == 0 {
+		return ""
+	}
+	return t.Orgs[0]
+}
+
+// RelatedTo reports whether org must execute this transaction (§4.3).
+func (t *Transaction) RelatedTo(org string) bool {
+	for _, o := range t.Orgs {
+		if o == org {
+			return true
+		}
+	}
+	return false
+}
+
+// SequencedTx is a transaction carrying the sequence number assigned by the
+// sequencer in Phase 2. Deliberately unsigned: §4.1 explains why BIDL
+// eliminates signatures on sequence numbers.
+type SequencedTx struct {
+	Seq uint64
+	Tx  *Transaction
+}
+
+// Size implements simnet.Message.
+func (s *SequencedTx) Size() int { return 8 + s.Tx.Size() }

@@ -1,0 +1,186 @@
+// Package workload generates the paper's SmallBank evaluation workload
+// (§6, "Workloads and metrics"): accounts spread over organizations, money
+// transfers between accounts of different organizations, a configurable
+// contention ratio steering transfers onto a 1% hot-account set (§6.3), and
+// a configurable ratio of non-deterministic account-creation transactions.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Config parameterizes a workload.
+type Config struct {
+	// NumOrgs is the number of organizations accounts are spread over.
+	NumOrgs int
+	// NumClients is the number of submitting clients (paper: 100).
+	NumClients int
+	// Accounts is the total number of bank accounts.
+	Accounts int
+	// HotFraction is the share of accounts considered hot (paper: 1%).
+	HotFraction float64
+	// ContentionRatio is the probability a transfer touches a hot account
+	// (paper sweeps 0–50%).
+	ContentionRatio float64
+	// NondetRatio is the probability a transaction invokes the
+	// non-deterministic create_random contract (§6.3).
+	NondetRatio float64
+	// InitialBalance seeds every account.
+	InitialBalance int64
+	// Padding sizes transactions (~1 KB default).
+	Padding uint32
+	// Seed drives all workload randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's standard workload parameters.
+func DefaultConfig(numOrgs int) Config {
+	return Config{
+		NumOrgs:         numOrgs,
+		NumClients:      100,
+		Accounts:        10000,
+		HotFraction:     0.01,
+		ContentionRatio: 0,
+		NondetRatio:     0,
+		InitialBalance:  1_000_000,
+		Padding:         types.DefaultTxPadding,
+		Seed:            7,
+	}
+}
+
+// Generator produces signed SmallBank transactions.
+type Generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	scheme crypto.Scheme
+	nonces map[crypto.Identity]uint64
+	nHot   int
+}
+
+// NewGenerator builds a generator and registers all client identities with
+// the scheme.
+func NewGenerator(cfg Config, scheme crypto.Scheme) *Generator {
+	if cfg.NumOrgs < 1 {
+		cfg.NumOrgs = 1
+	}
+	if cfg.NumClients < 1 {
+		cfg.NumClients = 1
+	}
+	if cfg.Accounts < cfg.NumOrgs*2 {
+		cfg.Accounts = cfg.NumOrgs * 2
+	}
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		scheme: scheme,
+		nonces: make(map[crypto.Identity]uint64),
+		nHot:   int(float64(cfg.Accounts) * cfg.HotFraction),
+	}
+	if g.nHot < 1 {
+		g.nHot = 1
+	}
+	for i := 0; i < cfg.NumClients; i++ {
+		scheme.Register(g.Client(i))
+	}
+	return g
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Client returns the identity of client i.
+func (g *Generator) Client(i int) crypto.Identity {
+	return crypto.Identity(fmt.Sprintf("client-%d", i))
+}
+
+// Org returns the organization name for index o.
+func Org(o int) string { return fmt.Sprintf("org%d", o) }
+
+// account returns the name of account i; accounts are assigned to
+// organizations round-robin.
+func (g *Generator) account(i int) (name, org string) {
+	return fmt.Sprintf("acct-%d", i), Org(i % g.cfg.NumOrgs)
+}
+
+// Prepopulate seeds a world state with every account at the initial balance,
+// replacing the create phase of the benchmark so experiments start from the
+// transfer steady state.
+func (g *Generator) Prepopulate(st *ledger.State) {
+	for i := 0; i < g.cfg.Accounts; i++ {
+		name, _ := g.account(i)
+		bal := []byte(strconv.FormatInt(g.cfg.InitialBalance, 10))
+		st.Put(contract.CheckingKey(name), bal, ledger.Version{})
+		st.Put(contract.SavingsKey(name), bal, ledger.Version{})
+	}
+}
+
+// pickAccount returns a random account index, drawn from the hot set with
+// probability ContentionRatio.
+func (g *Generator) pickAccount() int {
+	if g.cfg.ContentionRatio > 0 && g.rng.Float64() < g.cfg.ContentionRatio {
+		return g.rng.Intn(g.nHot)
+	}
+	// Cold accounts (may rarely hit hot ones too, as in the benchmark).
+	return g.rng.Intn(g.cfg.Accounts)
+}
+
+// Next produces one signed transaction from a uniformly chosen client.
+func (g *Generator) Next() *types.Transaction {
+	return g.NextFrom(g.rng.Intn(g.cfg.NumClients))
+}
+
+// NextFrom produces one signed transaction from client ci.
+func (g *Generator) NextFrom(ci int) *types.Transaction {
+	client := g.Client(ci)
+	g.nonces[client]++
+	tx := &types.Transaction{
+		Client:   client,
+		Nonce:    g.nonces[client],
+		Contract: "smallbank",
+		Padding:  g.cfg.Padding,
+	}
+	if g.cfg.NondetRatio > 0 && g.rng.Float64() < g.cfg.NondetRatio {
+		// Non-deterministic account creation (one related org).
+		acct := fmt.Sprintf("nd-%d-%d", ci, g.nonces[client])
+		tx.Fn = "create_random"
+		tx.Args = [][]byte{[]byte(acct)}
+		tx.Orgs = []string{Org(g.rng.Intn(g.cfg.NumOrgs))}
+	} else {
+		// Money transfer between accounts of different organizations
+		// (same-org transfers only in the degenerate single-org case).
+		src := g.pickAccount()
+		dst := g.pickAccount()
+		for dst == src || (g.cfg.NumOrgs > 1 && dst%g.cfg.NumOrgs == src%g.cfg.NumOrgs) {
+			dst = g.rng.Intn(g.cfg.Accounts)
+		}
+		srcName, srcOrg := g.account(src)
+		dstName, dstOrg := g.account(dst)
+		amount := strconv.Itoa(1 + g.rng.Intn(100))
+		tx.Fn = "send_payment"
+		tx.Args = [][]byte{[]byte(srcName), []byte(dstName), []byte(amount)}
+		tx.Orgs = []string{srcOrg, dstOrg}
+		if srcOrg == dstOrg {
+			tx.Orgs = []string{srcOrg}
+		}
+	}
+	if err := tx.Sign(g.scheme); err != nil {
+		panic(fmt.Sprintf("workload: signing failed: %v", err))
+	}
+	return tx
+}
+
+// Batch produces n transactions.
+func (g *Generator) Batch(n int) []*types.Transaction {
+	txs := make([]*types.Transaction, n)
+	for i := range txs {
+		txs[i] = g.Next()
+	}
+	return txs
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"strconv"
+	"testing"
+
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+)
+
+func newGen(cfg Config) *Generator {
+	return NewGenerator(cfg, crypto.NewHMACScheme([]byte("wl")))
+}
+
+func TestTransfersCrossOrgs(t *testing.T) {
+	g := newGen(DefaultConfig(10))
+	for i := 0; i < 200; i++ {
+		tx := g.Next()
+		if tx.Fn != "send_payment" {
+			t.Fatalf("unexpected fn %q with zero nondet ratio", tx.Fn)
+		}
+		if len(tx.Orgs) != 2 || tx.Orgs[0] == tx.Orgs[1] {
+			t.Fatalf("transfer orgs = %v, want two distinct", tx.Orgs)
+		}
+	}
+}
+
+func TestSignedAndUnique(t *testing.T) {
+	scheme := crypto.NewHMACScheme([]byte("wl"))
+	g := NewGenerator(DefaultConfig(4), scheme)
+	seen := make(map[[32]byte]bool)
+	for i := 0; i < 500; i++ {
+		tx := g.Next()
+		if !tx.VerifySig(scheme) {
+			t.Fatal("generated transaction has invalid signature")
+		}
+		if seen[tx.ID()] {
+			t.Fatal("duplicate transaction ID generated")
+		}
+		seen[tx.ID()] = true
+	}
+}
+
+func TestContentionSkewsToHotAccounts(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.ContentionRatio = 0.5
+	g := newGen(cfg)
+	hot := 0
+	const n = 2000
+	nHot := int(float64(cfg.Accounts) * cfg.HotFraction)
+	for i := 0; i < n; i++ {
+		tx := g.Next()
+		src := string(tx.Args[0])
+		idx, _ := strconv.Atoi(src[len("acct-"):])
+		if idx < nHot {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// Expect roughly >=45% of transfers to source from the hot set (50%
+	// forced + occasional cold draws landing there).
+	if frac < 0.40 || frac > 0.65 {
+		t.Fatalf("hot-source fraction = %.2f with contention 0.5", frac)
+	}
+
+	cfg.ContentionRatio = 0
+	cold := newGen(cfg)
+	hot = 0
+	for i := 0; i < n; i++ {
+		tx := cold.Next()
+		idx, _ := strconv.Atoi(string(tx.Args[0])[len("acct-"):])
+		if idx < nHot {
+			hot++
+		}
+	}
+	if f := float64(hot) / n; f > 0.05 {
+		t.Fatalf("hot fraction %.3f without contention; want ~1%%", f)
+	}
+}
+
+func TestNondetRatio(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.NondetRatio = 0.3
+	g := newGen(cfg)
+	nd := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if g.Next().Fn == "create_random" {
+			nd++
+		}
+	}
+	if f := float64(nd) / n; f < 0.25 || f > 0.35 {
+		t.Fatalf("nondet fraction = %.2f, want ~0.30", f)
+	}
+}
+
+func TestPrepopulate(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.Accounts = 100
+	g := newGen(cfg)
+	st := ledger.NewState()
+	g.Prepopulate(st)
+	if st.Len() != 200 {
+		t.Fatalf("state has %d keys, want 200 (checking+savings)", st.Len())
+	}
+	val, _, ok := st.Get(contract.CheckingKey("acct-0"))
+	if !ok || string(val) != strconv.FormatInt(cfg.InitialBalance, 10) {
+		t.Fatalf("acct-0 checking = %q", val)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := newGen(DefaultConfig(8)), newGen(DefaultConfig(8))
+	for i := 0; i < 100; i++ {
+		if a.Next().ID() != b.Next().ID() {
+			t.Fatal("same seed generated different transactions")
+		}
+	}
+}
+
+func TestTransactionsAreOneKB(t *testing.T) {
+	g := newGen(DefaultConfig(4))
+	tx := g.Next()
+	if s := tx.Size(); s < 900 || s > 1200 {
+		t.Fatalf("generated txn size %d, want ~1KB", s)
+	}
+}
+
+func TestDegenerateConfigsClamped(t *testing.T) {
+	cfg := Config{NumOrgs: 0, NumClients: 0, Accounts: 0, Seed: 1}
+	g := newGen(cfg)
+	tx := g.Next()
+	if tx == nil || len(tx.Orgs) == 0 {
+		t.Fatal("degenerate config produced unusable generator")
+	}
+}
