@@ -1,0 +1,36 @@
+# Tier-1 gate for the BIDL reproduction. `make ci` is what must stay green:
+# formatting, vet, build, and the full test suite under the race detector —
+# the parallel sweep runner is the repo's first real concurrency, so -race
+# is part of the gate, not an extra.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench-json
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race
+
+# Regenerate the BENCH_*.json perf trail (quick scale). Serial first, then
+# the same sweep on 4 workers; tables are byte-identical, only wall-clock
+# and events/sec move.
+bench-json:
+	$(GO) run ./cmd/bidl-bench -run all -scale 0.15 -q -bench-json BENCH_serial.json > /dev/null
+	$(GO) run ./cmd/bidl-bench -run all -scale 0.15 -q -j 4 -bench-json BENCH_parallel.json > /dev/null

@@ -20,11 +20,23 @@ func benchScale() float64 {
 	return 0.15
 }
 
+// benchWorkers controls the sweep runner's worker pool in benchmark runs.
+// Default is serial; BIDL_BENCH_J=4 (or -1 for GOMAXPROCS) fans sweep
+// points out without changing any measured value.
+func benchWorkers() int {
+	if v := os.Getenv("BIDL_BENCH_J"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return 1
+}
+
 // benchExperiment runs one registered paper experiment per iteration and
 // renders its table into the benchmark output.
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	opts := BenchOptions{Scale: benchScale(), Seed: 1}
+	opts := BenchOptions{Scale: benchScale(), Seed: 1, Workers: benchWorkers()}
 	for i := 0; i < b.N; i++ {
 		table, err := RunExperiment(id, opts)
 		if err != nil {

@@ -49,10 +49,16 @@ type (
 	Collector = metrics.Collector
 	// Topology describes the simulated datacenter network.
 	Topology = simnet.Topology
-	// BenchOptions tunes experiment runs.
+	// BenchOptions tunes experiment runs (Workers > 1 or < 0 enables the
+	// parallel sweep runner; tables are identical either way).
 	BenchOptions = bench.Options
 	// BenchTable is a rendered experiment result.
 	BenchTable = bench.Table
+	// BenchStats records one experiment's wall-clock and virtual-event cost.
+	BenchStats = bench.RunStats
+	// BenchReport aggregates BenchStats for a harness invocation
+	// (the BENCH_*.json perf trail).
+	BenchReport = bench.Report
 	// Experiment regenerates one of the paper's tables or figures.
 	Experiment = bench.Experiment
 	// BaselineVariant selects HLF, FastFabric, or StreamChain.
@@ -135,6 +141,16 @@ func RunExperiment(id string, opts BenchOptions) (*BenchTable, error) {
 	return e.Run(opts), nil
 }
 
+// MeasureExperiment runs an experiment and also reports its wall-clock
+// seconds and executed virtual events, for the BENCH_*.json perf trail.
+func MeasureExperiment(id string, opts BenchOptions) (*BenchTable, BenchStats, error) {
+	return bench.Measure(id, opts)
+}
+
+// NewBenchReport returns an empty report stamped with the options'
+// execution parameters; Add BenchStats to it and WriteJSON the result.
+func NewBenchReport(opts BenchOptions) *BenchReport { return bench.NewReport(opts) }
+
 // BaselineSystem bundles a baseline (HLF/FastFabric/StreamChain) cluster
 // with a workload generator and registered clients.
 type BaselineSystem struct {
@@ -162,19 +178,11 @@ func (s *BaselineSystem) Submit(at time.Duration, txns ...*Transaction) {
 }
 
 // SubmitRate schedules an offered load of rate txns/s over [0, window).
+// The total scheduled is exactly round(rate * window_seconds).
 func (s *BaselineSystem) SubmitRate(rate float64, window time.Duration) int {
-	total := 0
-	acc := 0.0
-	perTick := rate / 1000.0
-	for at := time.Duration(0); at < window; at += time.Millisecond {
-		acc += perTick
-		if n := int(acc); n > 0 {
-			acc -= float64(n)
-			s.Cluster.SubmitAt(at, s.Gen.Batch(n)...)
-			total += n
-		}
-	}
-	return total
+	return bench.ScheduleTicks(rate, window, func(at time.Duration, n int) {
+		s.Cluster.SubmitAt(at, s.Gen.Batch(n)...)
+	})
 }
 
 // Run advances the simulation to absolute virtual time t.
@@ -227,20 +235,12 @@ func (s *System) Submit(at time.Duration, txns ...*Transaction) {
 }
 
 // SubmitRate schedules an offered load of rate txns/s over [0, window),
-// returning the number of transactions scheduled.
+// returning the number of transactions scheduled — exactly
+// round(rate * window_seconds), free of float-accumulator drift.
 func (s *System) SubmitRate(rate float64, window time.Duration) int {
-	total := 0
-	acc := 0.0
-	perTick := rate / 1000.0
-	for at := time.Duration(0); at < window; at += time.Millisecond {
-		acc += perTick
-		if n := int(acc); n > 0 {
-			acc -= float64(n)
-			s.Cluster.SubmitAt(at, s.Gen.Batch(n)...)
-			total += n
-		}
-	}
-	return total
+	return bench.ScheduleTicks(rate, window, func(at time.Duration, n int) {
+		s.Cluster.SubmitAt(at, s.Gen.Batch(n)...)
+	})
 }
 
 // Run advances the simulation to absolute virtual time t.

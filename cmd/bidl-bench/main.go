@@ -5,25 +5,34 @@
 //	bidl-bench -list
 //	bidl-bench -run fig3                # one experiment, full scale
 //	bidl-bench -run all -scale 0.25     # quick pass over everything
+//	bidl-bench -run all -parallel       # sweep points across all cores
+//	bidl-bench -run all -j 4 -bench-json BENCH_parallel.json
 //	bidl-bench -run table4 -csv out.csv
+//
+// Sweep points are independent seeded simulations, so -j/-parallel changes
+// only wall-clock time: tables are byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"github.com/bidl-framework/bidl"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment ID to run (or \"all\")")
-		list  = flag.Bool("list", false, "list available experiments")
-		scale = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		csv   = flag.String("csv", "", "also write results as CSV to this file")
-		quiet = flag.Bool("q", false, "suppress progress logging")
+		run      = flag.String("run", "", "experiment ID to run (or \"all\")")
+		list     = flag.Bool("list", false, "list available experiments")
+		scale    = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		csv      = flag.String("csv", "", "also write results as CSV to this file")
+		quiet    = flag.Bool("q", false, "suppress progress logging")
+		jobs     = flag.Int("j", 1, "concurrent sweep points (1 = serial)")
+		parallel = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
+		jsonOut  = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
 	)
 	flag.Parse()
 
@@ -38,7 +47,11 @@ func main() {
 		return
 	}
 
-	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed}
+	workers := *jobs
+	if *parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
@@ -62,16 +75,35 @@ func main() {
 		csvOut = f
 	}
 
+	report := bidl.NewBenchReport(opts)
 	for _, id := range ids {
-		table, err := bidl.RunExperiment(id, opts)
+		table, stats, err := bidl.MeasureExperiment(id, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
 			os.Exit(1)
+		}
+		report.Add(stats)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "%s: %.2fs wall, %d virtual events (%.0f events/s)\n",
+				id, stats.WallSeconds, stats.VirtualEvents, stats.EventsPerSec)
 		}
 		table.Render(os.Stdout)
 		if csvOut != nil {
 			fmt.Fprintf(csvOut, "# %s\n", table.ID)
 			table.CSV(csvOut)
 		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

@@ -8,12 +8,20 @@
 //	bidl-sim -contention 0.5 -duration 2s
 //	bidl-sim -attack broadcaster                # watch the denylist engage
 //	bidl-sim -dcs 4 -inter-gbps 1               # 4 datacenters, 1 Gbps pipes
+//	bidl-sim -runs 8 -j 4                       # 8 seeds, 4 at a time
+//
+// With -runs N, seeds seed..seed+N-1 execute as independent simulations on
+// -j concurrent workers; per-seed results print in seed order and are
+// identical to running each seed alone.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl"
@@ -33,68 +41,134 @@ func main() {
 		dcs        = flag.Int("dcs", 1, "number of datacenters")
 		interGbps  = flag.Float64("inter-gbps", 0, "shared inter-DC bandwidth (0 = unlimited)")
 		attackMode = flag.String("attack", "none", "none|leader|broadcaster|smart")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		timeline   = flag.Bool("timeline", false, "print a 100ms-bucket throughput timeline")
+		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -runs)")
+		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs with -runs > 1")
+		timeline   = flag.Bool("timeline", false, "print a 100ms-bucket throughput timeline (single run only)")
 	)
 	flag.Parse()
 
-	cfg := bidl.DefaultConfig()
-	cfg.NumOrgs = *orgs
-	cfg.NormalPerOrg = *nnPerOrg
-	cfg.NumConsensus = *consensus
-	cfg.F = (*consensus - 1) / 3
-	cfg.Protocol = *protocol
-	cfg.Seed = *seed
-	cfg.NumDCs = *dcs
-	cfg.Topology.LossRate = *loss
-	if *dcs > 1 {
-		cfg.Topology = bidl.MultiDCTopology(bidl.GbpsBandwidth(*interGbps))
+	type outcome struct {
+		seed      int64
+		submitted int
+		summary   bidl.Summary
+		report    string
+		safetyErr error
+		timeline  []float64
+	}
+
+	runOne := func(runSeed int64) outcome {
+		cfg := bidl.DefaultConfig()
+		cfg.NumOrgs = *orgs
+		cfg.NormalPerOrg = *nnPerOrg
+		cfg.NumConsensus = *consensus
+		cfg.F = (*consensus - 1) / 3
+		cfg.Protocol = *protocol
+		cfg.Seed = runSeed
+		cfg.NumDCs = *dcs
 		cfg.Topology.LossRate = *loss
-		cfg.ViewTimeout = 400 * time.Millisecond
-		cfg.BlockTimeout = 25 * time.Millisecond
-	}
-
-	w := bidl.DefaultWorkload(*orgs)
-	w.ContentionRatio = *contention
-	w.NondetRatio = *nondet
-	w.Seed = *seed
-
-	sys := bidl.NewSystem(cfg, w)
-
-	switch *attackMode {
-	case "none":
-	case "leader":
-		bidl.EnableMaliciousLeader(sys.Cluster, sys.Cluster.LeaderIndex())
-	case "broadcaster", "smart":
-		bcfg := bidl.DefaultBroadcasterConfig()
-		if *attackMode == "smart" {
-			bcfg.TargetLeader = sys.Cluster.LeaderIndex()
+		if *dcs > 1 {
+			cfg.Topology = bidl.MultiDCTopology(bidl.GbpsBandwidth(*interGbps))
+			cfg.Topology.LossRate = *loss
+			cfg.ViewTimeout = 400 * time.Millisecond
+			cfg.BlockTimeout = 25 * time.Millisecond
 		}
-		b := bidl.NewBroadcaster(sys.Cluster, sys.Gen, bcfg)
-		b.Start(*duration / 5)
-	default:
-		fmt.Fprintf(os.Stderr, "bidl-sim: unknown attack %q\n", *attackMode)
-		os.Exit(2)
+
+		w := bidl.DefaultWorkload(*orgs)
+		w.ContentionRatio = *contention
+		w.NondetRatio = *nondet
+		w.Seed = runSeed
+
+		sys := bidl.NewSystem(cfg, w)
+
+		switch *attackMode {
+		case "none":
+		case "leader":
+			bidl.EnableMaliciousLeader(sys.Cluster, sys.Cluster.LeaderIndex())
+		case "broadcaster", "smart":
+			bcfg := bidl.DefaultBroadcasterConfig()
+			if *attackMode == "smart" {
+				bcfg.TargetLeader = sys.Cluster.LeaderIndex()
+			}
+			b := bidl.NewBroadcaster(sys.Cluster, sys.Gen, bcfg)
+			b.Start(*duration / 5)
+		default:
+			fmt.Fprintf(os.Stderr, "bidl-sim: unknown attack %q\n", *attackMode)
+			os.Exit(2)
+		}
+
+		n := sys.SubmitRate(*rate, *duration)
+		sys.Run(*duration + 500*time.Millisecond)
+
+		col := sys.Collector()
+		out := outcome{
+			seed:      runSeed,
+			submitted: n,
+			summary:   sys.Summary(*duration/5, *duration),
+			report: fmt.Sprintf("view_changes=%d conflicts=%d reexecuted=%d denied_clients=%d",
+				col.ViewChanges, col.Conflicts, col.Reexecuted, col.DeniedClients),
+			safetyErr: sys.CheckSafety(),
+		}
+		if *timeline && *runs == 1 {
+			out.timeline = col.Timeline(100*time.Millisecond, *duration+500*time.Millisecond)
+		}
+		return out
 	}
 
-	n := sys.SubmitRate(*rate, *duration)
-	sys.Run(*duration + 500*time.Millisecond)
+	// Fan the seeds out to a worker pool; results land in seed order.
+	outcomes := make([]outcome, *runs)
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > *runs {
+		workers = *runs
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *runs {
+					return
+				}
+				outcomes[i] = runOne(*seed + int64(i))
+			}
+		}()
+	}
+	wg.Wait()
 
-	fmt.Printf("submitted %d transactions over %v at %.0f txns/s\n", n, *duration, *rate)
-	fmt.Println(sys.Summary(*duration/5, *duration))
-	col := sys.Collector()
-	fmt.Printf("view_changes=%d conflicts=%d reexecuted=%d denied_clients=%d\n",
-		col.ViewChanges, col.Conflicts, col.Reexecuted, col.DeniedClients)
-	if err := sys.CheckSafety(); err != nil {
-		fmt.Fprintln(os.Stderr, "SAFETY VIOLATION:", err)
+	failed := false
+	var sumTput float64
+	for _, out := range outcomes {
+		if *runs > 1 {
+			fmt.Printf("--- seed %d ---\n", out.seed)
+		}
+		fmt.Printf("submitted %d transactions over %v at %.0f txns/s\n", out.submitted, *duration, *rate)
+		fmt.Println(out.summary)
+		fmt.Println(out.report)
+		if out.safetyErr != nil {
+			fmt.Fprintln(os.Stderr, "SAFETY VIOLATION:", out.safetyErr)
+			failed = true
+		} else {
+			fmt.Println("safety check: all correct nodes consistent")
+		}
+		sumTput += out.summary.Throughput
+		if out.timeline != nil {
+			fmt.Println("\nthroughput timeline (100ms buckets):")
+			for i, v := range out.timeline {
+				fmt.Printf("  %5.1fs %8.0f txns/s\n", float64(i)*0.1, v)
+			}
+		}
+	}
+	if *runs > 1 {
+		fmt.Printf("--- aggregate over %d seeds: mean throughput %.0f txns/s ---\n",
+			*runs, sumTput/float64(*runs))
+	}
+	if failed {
 		os.Exit(1)
-	}
-	fmt.Println("safety check: all correct nodes consistent")
-
-	if *timeline {
-		fmt.Println("\nthroughput timeline (100ms buckets):")
-		for i, v := range col.Timeline(100*time.Millisecond, *duration+500*time.Millisecond) {
-			fmt.Printf("  %5.1fs %8.0f txns/s\n", float64(i)*0.1, v)
-		}
 	}
 }

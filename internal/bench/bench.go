@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,14 +84,35 @@ type Options struct {
 	Seed int64
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
+	// Workers bounds how many sweep points run concurrently. 0 or 1 runs
+	// serially; <0 uses GOMAXPROCS. Every sweep point owns a private Sim,
+	// RNG, and Collector seeded identically in both modes, so tables are
+	// byte-identical regardless of Workers.
+	Workers int
+
+	// events, when non-nil, accumulates virtual events executed by every
+	// run launched under these options (set by Measure).
+	events *atomic.Uint64
 }
 
-// DefaultOptions runs experiments at full scale.
+// DefaultOptions runs experiments at full scale, serially.
 func DefaultOptions() Options { return Options{Scale: 1.0, Seed: 1} }
+
+// logMu serializes progress lines from concurrent sweep workers.
+var logMu sync.Mutex
 
 func (o Options) logf(format string, args ...interface{}) {
 	if o.Log != nil {
+		logMu.Lock()
 		fmt.Fprintf(o.Log, format+"\n", args...)
+		logMu.Unlock()
+	}
+}
+
+// addEvents credits executed virtual events to the harness counter.
+func (o Options) addEvents(n uint64) {
+	if o.events != nil {
+		o.events.Add(n)
 	}
 }
 

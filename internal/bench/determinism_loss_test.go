@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLossyRunDeterminism guards against map-iteration order leaking into
+// the simulation through the consensus view-change path. Packet loss at 8%
+// forces view changes, and before the protocols sorted their map walks
+// (certificate assembly, view-change Seen/Prepared collection, re-proposal
+// order) two identical runs could diverge in message order, RNG consumption,
+// and therefore retransmission volume. Same seed must mean same event count.
+func TestLossyRunDeterminism(t *testing.T) {
+	run := func() uint64 {
+		o := Options{Scale: 0.05, Seed: 1}
+		cfg := settingA(o.Seed)
+		cfg.Topology.LossRate = 0.08
+		r, _ := (bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
+			Rate: o.rate(satBIDL * 3 / 4), Window: o.scaled(1500 * time.Millisecond)}).run(o)
+		return r.Events
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed lossy runs diverged: %d vs %d virtual events", a, b)
+	}
+}

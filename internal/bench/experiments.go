@@ -11,6 +11,13 @@ import (
 	"github.com/bidl-framework/bidl/internal/workload"
 )
 
+// Every experiment below is expressed as a flat list of sweep-point tasks
+// handed to gather (see runner.go): each task builds its own cluster from the
+// experiment seed and returns a Result (or a finished row), and the rows are
+// assembled from the gathered slice in sweep order. Task closures must not
+// touch anything but their own captures and o, so serial and parallel
+// execution produce byte-identical tables.
+
 // Default per-framework saturation offered loads (txns/s) in evaluation
 // setting A, calibrated so each framework runs at its natural capacity:
 // BIDL ≈ 40-45k (sequencer-bound), FastFabric ≈ 30k (MVCC-bound),
@@ -65,14 +72,33 @@ func runFig3(o Options) *Table {
 			"ff_ktps", "ff_ms", "ff_abort", "hlf_ktps", "hlf_ms", "hlf_abort"},
 	}
 	window := o.scaled(1200 * time.Millisecond)
-	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		o.logf("fig3: contention %.0f%%", cr*100)
-		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-			Rate: o.rate(satBIDL), Window: window}.run()
-		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-			Rate: o.rate(satFF), Window: window}.run()
-		h, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-			Rate: o.rate(satHLF), Window: window}.run()
+	ratios := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	var tasks []func() Result
+	for _, cr := range ratios {
+		cr := cr
+		tasks = append(tasks,
+			func() Result {
+				o.logf("fig3: bidl, contention %.0f%%", cr*100)
+				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+					Rate: o.rate(satBIDL), Window: window}.run(o)
+				return r
+			},
+			func() Result {
+				o.logf("fig3: fastfabric, contention %.0f%%", cr*100)
+				r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+					Rate: o.rate(satFF), Window: window}.run(o)
+				return r
+			},
+			func() Result {
+				o.logf("fig3: hlf, contention %.0f%%", cr*100)
+				r, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
+					Rate: o.rate(satHLF), Window: window}.run(o)
+				return r
+			})
+	}
+	res := gather(o, tasks)
+	for i, cr := range ratios {
+		b, f, h := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(pct(cr),
 			ktps(b.Throughput), ms(b.AvgLatency), pct(b.AbortRate),
 			ktps(f.Throughput), ms(f.AvgLatency), pct(f.AbortRate),
@@ -102,25 +128,42 @@ func runFig5(o Options) *Table {
 		Columns: []string{"framework", "offered_ktps", "achieved_ktps", "avg_ms", "p99_ms"},
 	}
 	window := o.scaled(1200 * time.Millisecond)
-	sweep := func(name string, rates []float64, run func(rate float64) Result) {
+	type point struct {
+		name string
+		rate float64
+	}
+	var points []point
+	addSweep := func(name string, rates []float64) {
 		for _, r := range rates {
-			o.logf("fig5: %s at %.0f txns/s", name, o.rate(r))
-			res := run(o.rate(r))
-			t.AddRow(name, ktps(o.rate(r)), ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99))
+			points = append(points, point{name, r})
 		}
 	}
-	sweep("bidl", []float64{5000, 10000, 20000, 30000, 40000, 44000}, func(rate float64) Result {
-		r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
-		return r
-	})
-	sweep("fastfabric", []float64{5000, 10000, 20000, 26000, 30000}, func(rate float64) Result {
-		r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
-		return r
-	})
-	sweep("streamchain", []float64{500, 1000, 2000, 3000, 3500}, func(rate float64) Result {
-		r, _ := fabricRun{Cfg: settingAFabric(fabric.StreamChain, o.Seed), Workload: stdWorkload(0, 0, o.Seed), Rate: rate, Window: window}.run()
-		return r
-	})
+	addSweep("bidl", []float64{5000, 10000, 20000, 30000, 40000, 44000})
+	addSweep("fastfabric", []float64{5000, 10000, 20000, 26000, 30000})
+	addSweep("streamchain", []float64{500, 1000, 2000, 3000, 3500})
+	tasks := make([]func() Result, len(points))
+	for i, p := range points {
+		p := p
+		tasks[i] = func() Result {
+			o.logf("fig5: %s at %.0f txns/s", p.name, o.rate(p.rate))
+			if p.name == "bidl" {
+				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed),
+					Rate: o.rate(p.rate), Window: window}.run(o)
+				return r
+			}
+			v := fabric.FastFabric
+			if p.name == "streamchain" {
+				v = fabric.StreamChain
+			}
+			r, _ := fabricRun{Cfg: settingAFabric(v, o.Seed), Workload: stdWorkload(0, 0, o.Seed),
+				Rate: o.rate(p.rate), Window: window}.run(o)
+			return r
+		}
+	}
+	for i, res := range gather(o, tasks) {
+		p := points[i]
+		t.AddRow(p.name, ktps(o.rate(p.rate)), ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99))
+	}
 	t.Notes = append(t.Notes,
 		"paper: StreamChain lowest latency at low throughput; BIDL dominates both throughput and latency at scale")
 	return t
@@ -140,6 +183,8 @@ func init() {
 
 var fig6Orgs = []int{4, 7, 13, 25, 49, 97}
 
+var fig6Protos = []string{core.ProtoPBFT, core.ProtoZyzzyva, core.ProtoSBFT, core.ProtoHotStuff}
+
 func runFig6(o Options) *Table {
 	t := &Table{
 		ID:      "fig6",
@@ -147,16 +192,26 @@ func runFig6(o Options) *Table {
 		Columns: []string{"orgs", "bft-smart", "zyzzyva", "sbft", "hotstuff"},
 	}
 	window := o.scaled(1 * time.Second)
+	var tasks []func() Result
 	for _, orgs := range fig6Orgs {
+		for _, proto := range fig6Protos {
+			orgs, proto := orgs, proto
+			tasks = append(tasks, func() Result {
+				o.logf("fig6: %s with %d orgs", proto, orgs)
+				cfg := settingB(orgs, 1, o.Seed)
+				cfg.Protocol = proto
+				w := stdWorkload(0, 0, o.Seed)
+				w.NumOrgs = orgs
+				res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(20000), Window: window}.run(o)
+				return res
+			})
+		}
+	}
+	res := gather(o, tasks)
+	for i, orgs := range fig6Orgs {
 		row := []string{fmt.Sprintf("%d", orgs)}
-		for _, proto := range []string{core.ProtoPBFT, core.ProtoZyzzyva, core.ProtoSBFT, core.ProtoHotStuff} {
-			o.logf("fig6: %s with %d orgs", proto, orgs)
-			cfg := settingB(orgs, 1, o.Seed)
-			cfg.Protocol = proto
-			w := stdWorkload(0, 0, o.Seed)
-			w.NumOrgs = orgs
-			res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(20000), Window: window}.run()
-			row = append(row, ms(res.AvgLatency))
+		for j := range fig6Protos {
+			row = append(row, ms(res[i*len(fig6Protos)+j].AvgLatency))
 		}
 		t.AddRow(row...)
 	}
@@ -205,24 +260,31 @@ func runTable2(o Options) *Table {
 		Columns: []string{"orgs", "P1_endorse", "P2_consensus", "P3_validate", "end_to_end"},
 	}
 	window := o.scaled(1 * time.Second)
-	for _, orgs := range fig6Orgs {
-		o.logf("table2: %d orgs", orgs)
-		cfg := settingAFabric(fabric.FastFabric, o.Seed)
-		cfg.Protocol = "bft-smart" // the paper's modified FastFabric-SMaRt
-		cfg.NumOrgs = orgs
-		cfg.NumOrderers = orgs
-		cfg.F = (orgs - 1) / 3
-		if cfg.F < 1 {
-			cfg.F = 1
+	tasks := make([]func() []string, len(fig6Orgs))
+	for i, orgs := range fig6Orgs {
+		orgs := orgs
+		tasks[i] = func() []string {
+			o.logf("table2: %d orgs", orgs)
+			cfg := settingAFabric(fabric.FastFabric, o.Seed)
+			cfg.Protocol = "bft-smart" // the paper's modified FastFabric-SMaRt
+			cfg.NumOrgs = orgs
+			cfg.NumOrderers = orgs
+			cfg.F = (orgs - 1) / 3
+			if cfg.F < 1 {
+				cfg.F = 1
+			}
+			cfg.PeersPerOrg = 1
+			w := stdWorkload(0, 0, o.Seed)
+			w.NumOrgs = orgs
+			res, _ := fabricRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run(o)
+			endorse := res.Collector.PhaseAvg("endorse")
+			cons := res.Collector.PhaseAvg("consensus")
+			validate := res.Collector.PhaseAvg("validate")
+			return []string{fmt.Sprintf("%d", orgs), ms(endorse), ms(cons), ms(validate), ms(endorse + cons + validate)}
 		}
-		cfg.PeersPerOrg = 1
-		w := stdWorkload(0, 0, o.Seed)
-		w.NumOrgs = orgs
-		res, _ := fabricRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run()
-		endorse := res.Collector.PhaseAvg("endorse")
-		cons := res.Collector.PhaseAvg("consensus")
-		validate := res.Collector.PhaseAvg("validate")
-		t.AddRow(fmt.Sprintf("%d", orgs), ms(endorse), ms(cons), ms(validate), ms(endorse+cons+validate))
+	}
+	for _, row := range gather(o, tasks) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper (4→97 orgs): endorse 9.2→6.5, consensus 10.4→16.2, validate 51.5→6.9, e2e 71.0→29.6")
@@ -236,23 +298,30 @@ func runTable3(o Options) *Table {
 		Columns: []string{"orgs", "P1_consensus", "P2_ver_exec", "P3_persist", "P4_execution", "P5_commit", "end_to_end"},
 	}
 	window := o.scaled(1 * time.Second)
-	for _, orgs := range fig6Orgs {
-		o.logf("table3: %d orgs", orgs)
-		cfg := settingB(orgs, 1, o.Seed)
-		w := stdWorkload(0, 0, o.Seed)
-		w.NumOrgs = orgs
-		res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run()
-		cons := res.Collector.PhaseAvg("consensus")
-		verexec := res.Collector.PhaseAvg("verexec")
-		persist := res.Collector.PhaseAvg("persist")
-		commit := res.Collector.PhaseAvg("commit")
-		exec := verexec + persist
-		e2e := cons
-		if exec > e2e {
-			e2e = exec
+	tasks := make([]func() []string, len(fig6Orgs))
+	for i, orgs := range fig6Orgs {
+		orgs := orgs
+		tasks[i] = func() []string {
+			o.logf("table3: %d orgs", orgs)
+			cfg := settingB(orgs, 1, o.Seed)
+			w := stdWorkload(0, 0, o.Seed)
+			w.NumOrgs = orgs
+			res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run(o)
+			cons := res.Collector.PhaseAvg("consensus")
+			verexec := res.Collector.PhaseAvg("verexec")
+			persist := res.Collector.PhaseAvg("persist")
+			commit := res.Collector.PhaseAvg("commit")
+			exec := verexec + persist
+			e2e := cons
+			if exec > e2e {
+				e2e = exec
+			}
+			e2e += commit
+			return []string{fmt.Sprintf("%d", orgs), ms(cons), ms(verexec), ms(persist), ms(exec), ms(commit), ms(e2e)}
 		}
-		e2e += commit
-		t.AddRow(fmt.Sprintf("%d", orgs), ms(cons), ms(verexec), ms(persist), ms(exec), ms(commit), ms(e2e))
+	}
+	for _, row := range gather(o, tasks) {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"paper (4→97 orgs): consensus 10.3→16.4, ver&exec 59.3→7.6, persist 0.5→2.1, commit ~2.7, e2e = max(P1,P4)+P5 62.5→19.3")
@@ -282,56 +351,54 @@ func runTable4(o Options) *Table {
 	warm := window / 2 // measure after the system stabilizes post-attack
 	wl := stdWorkload(0, 0, o.Seed)
 
-	// StreamChain.
-	o.logf("table4: streamchain S1")
-	sc, _ := fabricRun{Cfg: settingAFabric(fabric.StreamChain, o.Seed), Workload: wl,
-		Rate: o.rate(satStream), Window: window, Warmup: warm}.run()
-	t.AddRow("streamchain", ktps(sc.Throughput), "N/A", "N/A")
-
-	// HLF: S1; S2 malicious orderer; S3 unaffected (no multicast ingestion).
-	o.logf("table4: hlf S1")
-	h1, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: wl,
-		Rate: o.rate(satHLF), Window: window, Warmup: warm}.run()
-	o.logf("table4: hlf S2")
-	h2, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: wl,
-		Rate: o.rate(satHLF), Window: window, Warmup: warm,
-		Mutate: func(c *fabric.Cluster, _ *workload.Generator) {
-			c.Orderers[c.LeaderIndex()].ProposeGarbage = true
-		}}.run()
-	t.AddRow("hlf", ktps(h1.Throughput), ktps(h2.Throughput), ktps(h1.Throughput))
-
-	// FastFabric: only S1 is in its trust model.
-	o.logf("table4: fastfabric S1")
-	ff, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: wl,
-		Rate: o.rate(satFF), Window: window, Warmup: warm}.run()
-	t.AddRow("fastfabric", ktps(ff.Throughput), "N/A", "N/A")
-
-	// BIDL without the denylist: S3 hurts and stays hurt.
+	fab := func(label string, v fabric.Variant, rate float64, mut func(*fabric.Cluster, *workload.Generator)) func() Result {
+		return func() Result {
+			o.logf("table4: %s", label)
+			r, _ := fabricRun{Cfg: settingAFabric(v, o.Seed), Workload: wl,
+				Rate: o.rate(rate), Window: window, Warmup: warm, Mutate: mut}.run(o)
+			return r
+		}
+	}
+	bidl := func(label string, cfg core.Config, mut func(*core.Cluster, *workload.Generator)) func() Result {
+		return func() Result {
+			o.logf("table4: %s", label)
+			r, _ := bidlRun{Cfg: cfg, Workload: wl, Rate: o.rate(satBIDL),
+				Window: window, Warmup: warm, Mutate: mut}.run(o)
+			return r
+		}
+	}
+	malLeader := func(c *core.Cluster, _ *workload.Generator) {
+		attack.EnableMaliciousLeader(c, c.LeaderIndex())
+	}
 	noDeny := settingA(o.Seed)
 	noDeny.DisableDenylist = true
-	o.logf("table4: bidl-no-denylist S1")
-	bn1, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm}.run()
-	o.logf("table4: bidl-no-denylist S2")
-	bn2, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
-		Mutate: func(c *core.Cluster, _ *workload.Generator) {
-			attack.EnableMaliciousLeader(c, c.LeaderIndex())
-		}}.run()
-	o.logf("table4: bidl-no-denylist S3")
-	bn3, _ := bidlRun{Cfg: noDeny, Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
-		Mutate: broadcastAttack(100*time.Millisecond, -1)}.run()
-	t.AddRow("bidl-no-denylist", ktps(bn1.Throughput), ktps(bn2.Throughput), ktps(bn3.Throughput))
 
+	res := gather(o, []func() Result{
+		fab("streamchain S1", fabric.StreamChain, satStream, nil),
+		fab("hlf S1", fabric.HLF, satHLF, nil),
+		fab("hlf S2", fabric.HLF, satHLF, func(c *fabric.Cluster, _ *workload.Generator) {
+			c.Orderers[c.LeaderIndex()].ProposeGarbage = true
+		}),
+		fab("fastfabric S1", fabric.FastFabric, satFF, nil),
+		bidl("bidl-no-denylist S1", noDeny, nil),
+		bidl("bidl-no-denylist S2", noDeny, malLeader),
+		bidl("bidl-no-denylist S3", noDeny, broadcastAttack(100*time.Millisecond, -1)),
+		bidl("bidl S1", settingA(o.Seed), nil),
+		bidl("bidl S2", settingA(o.Seed), malLeader),
+		bidl("bidl S3", settingA(o.Seed), broadcastAttack(100*time.Millisecond, -1)),
+	})
+	sc, h1, h2, ff := res[0], res[1], res[2], res[3]
+	bn1, bn2, bn3 := res[4], res[5], res[6]
+	b1, b2, b3 := res[7], res[8], res[9]
+
+	t.AddRow("streamchain", ktps(sc.Throughput), "N/A", "N/A")
+	// HLF: S3 unaffected (no multicast ingestion).
+	t.AddRow("hlf", ktps(h1.Throughput), ktps(h2.Throughput), ktps(h1.Throughput))
+	// FastFabric: only S1 is in its trust model.
+	t.AddRow("fastfabric", ktps(ff.Throughput), "N/A", "N/A")
+	// BIDL without the denylist: S3 hurts and stays hurt.
+	t.AddRow("bidl-no-denylist", ktps(bn1.Throughput), ktps(bn2.Throughput), ktps(bn3.Throughput))
 	// BIDL with the full shepherded workflow.
-	o.logf("table4: bidl S1")
-	b1, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm}.run()
-	o.logf("table4: bidl S2")
-	b2, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
-		Mutate: func(c *core.Cluster, _ *workload.Generator) {
-			attack.EnableMaliciousLeader(c, c.LeaderIndex())
-		}}.run()
-	o.logf("table4: bidl S3")
-	b3, _ := bidlRun{Cfg: settingA(o.Seed), Workload: wl, Rate: o.rate(satBIDL), Window: window, Warmup: warm,
-		Mutate: broadcastAttack(100*time.Millisecond, -1)}.run()
 	t.AddRow("bidl", ktps(b1.Throughput), ktps(b2.Throughput), ktps(b3.Throughput))
 
 	t.Notes = append(t.Notes,
@@ -361,6 +428,7 @@ func runFig7(o Options) *Table {
 	attackAt := horizon / 6
 	rate := o.rate(satBIDL * 3 / 4)
 	o.logf("fig7: %.0f txns/s, attack at %v", rate, attackAt)
+	// A single timeline run: nothing to fan out.
 	res, c := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed),
 		Rate: rate, Window: horizon, Warmup: time.Millisecond,
 		Mutate: func(cl *core.Cluster, gen *workload.Generator) {
@@ -368,7 +436,7 @@ func runFig7(o Options) *Table {
 			cfg.TargetLeader = cl.LeaderIndex()
 			b := attack.NewBroadcaster(cl, gen, cfg)
 			b.Start(attackAt)
-		}}.run()
+		}}.run(o)
 	width := horizon / 30
 	for i, v := range res.Collector.Timeline(width, horizon) {
 		t.AddRow(fmt.Sprintf("%.2f", (time.Duration(i)*width).Seconds()), ktps(v))
@@ -400,21 +468,44 @@ func runFig8(o Options) *Table {
 		Columns: []string{"workload", "param", "bidl_ktps", "bidl_abort", "ff_ktps", "ff_abort"},
 	}
 	window := o.scaled(1200 * time.Millisecond)
+	type point struct {
+		mode  string
+		ratio float64
+	}
+	var points []point
 	for _, nd := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		o.logf("fig8: nondet %.0f%%", nd*100)
-		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, nd, o.Seed),
-			Rate: o.rate(satBIDL), Window: window}.run()
-		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(0, nd, o.Seed),
-			Rate: o.rate(satFF), Window: window}.run()
-		t.AddRow("nondet", pct(nd), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
+		points = append(points, point{"nondet", nd})
 	}
 	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		o.logf("fig8: contention %.0f%%", cr*100)
-		b, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-			Rate: o.rate(satBIDL), Window: window}.run()
-		f, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-			Rate: o.rate(satFF), Window: window}.run()
-		t.AddRow("contention", pct(cr), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
+		points = append(points, point{"contention", cr})
+	}
+	var tasks []func() Result
+	for _, p := range points {
+		p := p
+		mkWl := func() workload.Config {
+			if p.mode == "nondet" {
+				return stdWorkload(0, p.ratio, o.Seed)
+			}
+			return stdWorkload(p.ratio, 0, o.Seed)
+		}
+		tasks = append(tasks,
+			func() Result {
+				o.logf("fig8: bidl, %s %.0f%%", p.mode, p.ratio*100)
+				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: mkWl(),
+					Rate: o.rate(satBIDL), Window: window}.run(o)
+				return r
+			},
+			func() Result {
+				o.logf("fig8: fastfabric, %s %.0f%%", p.mode, p.ratio*100)
+				r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: mkWl(),
+					Rate: o.rate(satFF), Window: window}.run(o)
+				return r
+			})
+	}
+	res := gather(o, tasks)
+	for i, p := range points {
+		b, f := res[2*i], res[2*i+1]
+		t.AddRow(p.mode, pct(p.ratio), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
 	}
 	t.Notes = append(t.Notes,
 		"paper: both drop with non-determinism (BIDL faster); under contention BIDL holds throughput with zero aborts while FF aborts grow")
@@ -440,8 +531,10 @@ func runFig9(o Options) *Table {
 		Columns: []string{"bandwidth_gbps", "bidl", "bidl_opt_disabled"},
 	}
 	window := o.scaled(1200 * time.Millisecond)
-	for _, gbps := range []float64{10, 5, 2, 1, 0.5} {
-		o.logf("fig9: %.1f Gbps inter-DC", gbps)
+	bands := []float64{10, 5, 2, 1, 0.5}
+	var tasks []func() Result
+	for _, gbps := range bands {
+		gbps := gbps
 		mk := func(optDisabled bool) core.Config {
 			cfg := settingA(o.Seed)
 			cfg.NumDCs = 4
@@ -455,11 +548,19 @@ func runFig9(o Options) *Table {
 			}
 			return cfg
 		}
-		b, _ := bidlRun{Cfg: mk(false), Workload: stdWorkload(0, 0, o.Seed),
-			Rate: o.rate(satBIDL / 2), Window: window}.run()
-		d, _ := bidlRun{Cfg: mk(true), Workload: stdWorkload(0, 0, o.Seed),
-			Rate: o.rate(satBIDL / 2), Window: window}.run()
-		t.AddRow(fmt.Sprintf("%.1f", gbps), ktps(b.Throughput), ktps(d.Throughput))
+		for _, optDisabled := range []bool{false, true} {
+			optDisabled := optDisabled
+			tasks = append(tasks, func() Result {
+				o.logf("fig9: %.1f Gbps inter-DC (opt_disabled=%v)", gbps, optDisabled)
+				r, _ := bidlRun{Cfg: mk(optDisabled), Workload: stdWorkload(0, 0, o.Seed),
+					Rate: o.rate(satBIDL / 2), Window: window}.run(o)
+				return r
+			})
+		}
+	}
+	res := gather(o, tasks)
+	for i, gbps := range bands {
+		t.AddRow(fmt.Sprintf("%.1f", gbps), ktps(res[2*i].Throughput), ktps(res[2*i+1].Throughput))
 	}
 	t.Notes = append(t.Notes,
 		"paper: BIDL degrades slowly as bandwidth shrinks; without multicast+consensus-on-hash the gap widens at tight bandwidth")
@@ -485,17 +586,31 @@ func runFig10(o Options) *Table {
 		Columns: []string{"loss", "bidl", "fastfabric"},
 	}
 	window := o.scaled(1500 * time.Millisecond)
-	for _, loss := range []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08} {
-		o.logf("fig10: %.1f%% loss", loss*100)
-		cfg := settingA(o.Seed)
-		cfg.Topology.LossRate = loss
-		b, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
-			Rate: o.rate(satBIDL * 3 / 4), Window: window}.run()
-		fcfg := settingAFabric(fabric.FastFabric, o.Seed)
-		fcfg.Topology.LossRate = loss
-		f, _ := fabricRun{Cfg: fcfg, Workload: stdWorkload(0, 0, o.Seed),
-			Rate: o.rate(satFF * 3 / 4), Window: window}.run()
-		t.AddRow(pct(loss), ktps(b.Throughput), ktps(f.Throughput))
+	losses := []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08}
+	var tasks []func() Result
+	for _, loss := range losses {
+		loss := loss
+		tasks = append(tasks,
+			func() Result {
+				o.logf("fig10: bidl, %.1f%% loss", loss*100)
+				cfg := settingA(o.Seed)
+				cfg.Topology.LossRate = loss
+				r, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
+					Rate: o.rate(satBIDL * 3 / 4), Window: window}.run(o)
+				return r
+			},
+			func() Result {
+				o.logf("fig10: fastfabric, %.1f%% loss", loss*100)
+				fcfg := settingAFabric(fabric.FastFabric, o.Seed)
+				fcfg.Topology.LossRate = loss
+				r, _ := fabricRun{Cfg: fcfg, Workload: stdWorkload(0, 0, o.Seed),
+					Rate: o.rate(satFF * 3 / 4), Window: window}.run(o)
+				return r
+			})
+	}
+	res := gather(o, tasks)
+	for i, loss := range losses {
+		t.AddRow(pct(loss), ktps(res[2*i].Throughput), ktps(res[2*i+1].Throughput))
 	}
 	t.Notes = append(t.Notes,
 		"paper: BIDL's gain over FF is largest at low loss and narrows as loss grows")
@@ -521,18 +636,32 @@ func runAblation(o Options) *Table {
 		Columns: []string{"variant", "ktps", "avg_ms", "p99_ms", "spec_success"},
 	}
 	window := o.scaled(1200 * time.Millisecond)
-	run := func(name string, mut func(*core.Config)) {
-		o.logf("ablation: %s", name)
-		cfg := settingA(o.Seed)
-		mut(&cfg)
-		res, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0.2, 0, o.Seed),
-			Rate: o.rate(satBIDL * 3 / 4), Window: window}.run()
-		t.AddRow(name, ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99), pct(res.SpecSuccess))
+	type variant struct {
+		name string
+		mut  func(*core.Config)
 	}
-	run("bidl-full", func(*core.Config) {})
-	run("no-speculation", func(c *core.Config) { c.DisableSpeculation = true })
-	run("no-multicast", func(c *core.Config) { c.DisableMulticast = true })
-	run("consensus-on-payload", func(c *core.Config) { c.ConsensusOnPayload = true })
+	variants := []variant{
+		{"bidl-full", func(*core.Config) {}},
+		{"no-speculation", func(c *core.Config) { c.DisableSpeculation = true }},
+		{"no-multicast", func(c *core.Config) { c.DisableMulticast = true }},
+		{"consensus-on-payload", func(c *core.Config) { c.ConsensusOnPayload = true }},
+	}
+	tasks := make([]func() Result, len(variants))
+	for i, v := range variants {
+		v := v
+		tasks[i] = func() Result {
+			o.logf("ablation: %s", v.name)
+			cfg := settingA(o.Seed)
+			v.mut(&cfg)
+			res, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0.2, 0, o.Seed),
+				Rate: o.rate(satBIDL * 3 / 4), Window: window}.run(o)
+			return res
+		}
+	}
+	res := gather(o, tasks)
+	for i, v := range variants {
+		t.AddRow(v.name, ktps(res[i].Throughput), ms(res[i].AvgLatency), ms(res[i].P99), pct(res[i].SpecSuccess))
+	}
 	t.Notes = append(t.Notes,
 		"no-speculation reverts to the sequential workflow: latency rises by roughly the execution phase")
 	return t

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"math"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/attack"
@@ -18,38 +19,38 @@ type Result struct {
 	P50, P99    time.Duration
 	AbortRate   float64
 	SpecSuccess float64
+	Events      uint64 // virtual events executed by the run's simulator
 	Collector   *metrics.Collector
 	SafetyErr   error
 }
 
 // scheduleLoad submits rate txns/s over window onto a BIDL cluster.
 func scheduleLoadBIDL(c *core.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
-	return scheduleTicks(rate, window, func(at time.Duration, n int) {
+	return ScheduleTicks(rate, window, func(at time.Duration, n int) {
 		c.SubmitAt(at, gen.Batch(n)...)
 	})
 }
 
 // scheduleLoadFabric submits rate txns/s over window onto a fabric cluster.
 func scheduleLoadFabric(c *fabric.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
-	return scheduleTicks(rate, window, func(at time.Duration, n int) {
+	return ScheduleTicks(rate, window, func(at time.Duration, n int) {
 		c.SubmitAt(at, gen.Batch(n)...)
 	})
 }
 
-// scheduleTicks drives fn once per millisecond with the txn count owed at
-// that tick, returning the total scheduled.
-func scheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
+// ScheduleTicks drives fn once per millisecond with the txn count owed at
+// that tick, returning the total scheduled. The count owed is derived from
+// the rounded cumulative target rate*elapsed rather than a running float
+// accumulator, so rounding error never compounds: for any rate, the total
+// scheduled over window is exactly round(rate * window_seconds).
+func ScheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
 	tick := time.Millisecond
-	perTick := rate / 1000.0
 	total := 0
-	acc := 0.0
 	for at := time.Duration(0); at < window; at += tick {
-		acc += perTick
-		n := int(acc)
-		if n > 0 {
-			acc -= float64(n)
+		target := int(math.Round(rate * (at + tick).Seconds()))
+		if n := target - total; n > 0 {
 			fn(at, n)
-			total += n
+			total = target
 		}
 	}
 	return total
@@ -67,7 +68,7 @@ type bidlRun struct {
 	Mutate func(*core.Cluster, *workload.Generator)
 }
 
-func (r bidlRun) run() (Result, *core.Cluster) {
+func (r bidlRun) run(o Options) (Result, *core.Cluster) {
 	if r.Warmup == 0 {
 		r.Warmup = r.Window / 5
 	}
@@ -88,7 +89,10 @@ func (r bidlRun) run() (Result, *core.Cluster) {
 	}
 	scheduleLoadBIDL(c, gen, r.Rate, r.Window)
 	c.Run(r.Window + r.Drain)
-	return summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety()), c
+	o.addEvents(c.Sim.Events())
+	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
+	res.Events = c.Sim.Events()
+	return res, c
 }
 
 // fabricRun executes a baseline run and returns its result.
@@ -102,7 +106,7 @@ type fabricRun struct {
 	Mutate   func(*fabric.Cluster, *workload.Generator)
 }
 
-func (r fabricRun) run() (Result, *fabric.Cluster) {
+func (r fabricRun) run(o Options) (Result, *fabric.Cluster) {
 	if r.Warmup == 0 {
 		r.Warmup = r.Window / 5
 	}
@@ -123,7 +127,10 @@ func (r fabricRun) run() (Result, *fabric.Cluster) {
 	}
 	scheduleLoadFabric(c, gen, r.Rate, r.Window)
 	c.Run(r.Window + r.Drain)
-	return summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety()), c
+	o.addEvents(c.Sim.Events())
+	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
+	res.Events = c.Sim.Events()
+	return res, c
 }
 
 func summarize(col *metrics.Collector, warmup, window time.Duration, safety error) Result {

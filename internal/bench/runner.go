@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel sweep runner. Every experiment is a sweep of
+// fully independent simulation runs — each sweep point builds its own
+// simnet.Sim, RNG, cluster, and metrics.Collector from the experiment seed,
+// shares no state with its siblings, and is pure with respect to its slot in
+// the result slice. gather fans those points out to a worker pool and puts
+// results back in task order, so an experiment table is byte-identical
+// whether Workers is 1 or GOMAXPROCS.
+
+// workers resolves Options.Workers: 0/1 → serial, <0 → GOMAXPROCS.
+func (o Options) workers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	default:
+		return o.Workers
+	}
+}
+
+// gather executes tasks across o.workers() goroutines and returns results in
+// task order. Tasks are claimed from a shared atomic cursor, so long points
+// (large org counts, long windows) don't convoy behind short ones.
+func gather[T any](o Options, tasks []func() T) []T {
+	n := len(tasks)
+	out := make([]T, n)
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i, task := range tasks {
+			out[i] = task()
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = tasks[i]()
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

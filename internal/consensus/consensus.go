@@ -10,6 +10,7 @@
 package consensus
 
 import (
+	"sort"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/crypto"
@@ -179,3 +180,29 @@ func (c Config) Quorum() int { return 2*c.F + 1 }
 
 // FastQuorum returns the 3f+1 (all-replica) fast-path size.
 func (c Config) FastQuorum() int { return 3*c.F + 1 }
+
+// SortedNodes returns m's replica indices in ascending order. Protocols
+// assemble certificates and merge view-change sets from maps keyed by node;
+// iterating those maps directly would let Go's randomized iteration order
+// leak into message content and send order, breaking the simulator's
+// same-seed determinism guarantee.
+func SortedNodes[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SortedSeqs returns m's sequence numbers in ascending order, for the same
+// reason as SortedNodes: re-proposal and view-change collection must not
+// depend on map iteration order.
+func SortedSeqs[V any](m map[uint64]V) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

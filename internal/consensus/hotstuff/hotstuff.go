@@ -287,8 +287,8 @@ func (r *Replica) onVote(from int, m *Msg) {
 // verifies with types.Certificate.Verify like every other protocol's.
 func (r *Replica) buildCert(seq uint64, in *instance) *types.Certificate {
 	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
-	for node, sig := range in.votes[2] {
-		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: sig})
+	for _, node := range consensus.SortedNodes(in.votes[2]) {
+		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: in.votes[2][node]})
 		if len(cert.Sigs) == r.cfg.Quorum() {
 			break
 		}
@@ -361,7 +361,8 @@ func (r *Replica) advanceView(newView uint64) {
 	r.inView = false
 	r.timerEpoch++
 	var entries []Entry
-	for seq, in := range r.instances {
+	for _, seq := range consensus.SortedSeqs(r.instances) {
+		in := r.instances[seq]
 		if in.decided || !in.have {
 			continue
 		}
@@ -421,7 +422,8 @@ func (r *Replica) onNewView(from int, m *Msg) {
 	// Install the view as its leader.
 	reprop := make(map[uint64]Entry)
 	var metas [][]byte
-	for _, nv := range set {
+	for _, id := range consensus.SortedNodes(set) {
+		nv := set[id]
 		metas = append(metas, nv.Meta)
 		for _, e := range nv.Entries {
 			prev, ok := reprop[e.Seq]
@@ -435,7 +437,8 @@ func (r *Replica) onNewView(from int, m *Msg) {
 	start.Sig = r.host.Sign(nvBytes(start))
 	r.host.BroadcastCN(start)
 	r.enterView(m.View, metas)
-	for seq, e := range reprop {
+	for _, seq := range consensus.SortedSeqs(reprop) {
+		e := reprop[seq]
 		if in, ok := r.instances[seq]; ok && in.decided {
 			continue
 		}

@@ -256,8 +256,8 @@ func (r *Replica) maybeDecide(seq uint64, in *instance) {
 	in.decided = true
 	r.decidedCnt++
 	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
-	for node, sig := range in.commits {
-		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: sig})
+	for _, node := range consensus.SortedNodes(in.commits) {
+		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: in.commits[node]})
 		if len(cert.Sigs) == r.cfg.Quorum() {
 			break
 		}
@@ -280,7 +280,8 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.inView = false
 	r.timerEpoch++
 	var prepared, preprepared []PreparedEntry
-	for seq, in := range r.instances {
+	for _, seq := range consensus.SortedSeqs(r.instances) {
+		in := r.instances[seq]
 		if in.decided || !in.havePP {
 			continue
 		}
@@ -365,14 +366,16 @@ func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
 	// are not lost.
 	reprop := make(map[uint64]PreparedEntry)
 	var metas [][]byte
-	for _, vc := range set {
+	nodes := consensus.SortedNodes(set)
+	for _, id := range nodes {
+		vc := set[id]
 		metas = append(metas, vc.Meta)
 		for _, p := range vc.Prepared {
 			reprop[p.Seq] = p
 		}
 	}
-	for _, vc := range set {
-		for _, p := range vc.PrePrepared {
+	for _, id := range nodes {
+		for _, p := range set[id].PrePrepared {
 			if _, ok := reprop[p.Seq]; !ok {
 				reprop[p.Seq] = p
 			}
@@ -384,7 +387,8 @@ func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
 	r.host.BroadcastCN(nv)
 	r.enterView(view, metas)
 	// Re-propose prepared-but-undecided instances in the new view.
-	for seq, p := range reprop {
+	for _, seq := range consensus.SortedSeqs(reprop) {
+		p := reprop[seq]
 		if in, ok := r.instances[seq]; ok && in.decided {
 			continue
 		}
@@ -414,8 +418,8 @@ func (r *Replica) onNewView(from int, m *Msg) {
 		return
 	}
 	var metas [][]byte
-	for _, vc := range r.vcs[m.View] {
-		metas = append(metas, vc.Meta)
+	for _, id := range consensus.SortedNodes(r.vcs[m.View]) {
+		metas = append(metas, r.vcs[m.View][id].Meta)
 	}
 	r.enterView(m.View, metas)
 }

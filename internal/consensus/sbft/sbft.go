@@ -260,8 +260,8 @@ func (r *Replica) acceptShare(from int, seq uint64, in *instance, sig crypto.Sig
 func (r *Replica) emitProof(seq uint64, in *instance, limit int) {
 	r.host.Elapse(r.cfg.ThresholdCombine)
 	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
-	for node, sig := range in.shares {
-		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: sig})
+	for _, node := range consensus.SortedNodes(in.shares) {
+		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: in.shares[node]})
 		if len(cert.Sigs) == limit {
 			break
 		}
@@ -312,8 +312,8 @@ func (r *Replica) startViewChange(newView uint64) {
 	r.inView = false
 	r.timerEpoch++
 	var seen []Entry
-	for seq, in := range r.instances {
-		if !in.decided && in.have {
+	for _, seq := range consensus.SortedSeqs(r.instances) {
+		if in := r.instances[seq]; !in.decided && in.have {
 			seen = append(seen, Entry{Seq: seq, Digest: in.digest, Data: in.data})
 		}
 	}
@@ -376,7 +376,8 @@ func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
 	}
 	reprop := make(map[uint64]Entry)
 	var metas [][]byte
-	for _, vc := range set {
+	for _, id := range consensus.SortedNodes(set) {
+		vc := set[id]
 		metas = append(metas, vc.Meta)
 		for _, e := range vc.Seen {
 			if _, ok := reprop[e.Seq]; !ok {
@@ -389,7 +390,8 @@ func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
 	nv.Sig = r.host.Sign(vcBytes(nv))
 	r.host.BroadcastCN(nv)
 	r.enterView(view, metas)
-	for seq, e := range reprop {
+	for _, seq := range consensus.SortedSeqs(reprop) {
+		e := reprop[seq]
 		if in, ok := r.instances[seq]; ok && in.decided {
 			continue
 		}
@@ -413,8 +415,8 @@ func (r *Replica) onNewView(from int, m *Msg) {
 		return
 	}
 	var metas [][]byte
-	for _, vc := range r.vcs[m.View] {
-		metas = append(metas, vc.Meta)
+	for _, id := range consensus.SortedNodes(r.vcs[m.View]) {
+		metas = append(metas, r.vcs[m.View][id].Meta)
 	}
 	r.enterView(m.View, metas)
 }

@@ -294,6 +294,14 @@ func (c *Cluster) AttachAdversary(name string, dc int, h simnet.Handler) *simnet
 // TxnGroup names the sequencer multicast group (for adversaries).
 func (c *Cluster) TxnGroup() string { return groupTxns }
 
+// LedgerDigest returns consensus node 0's chained head-of-ledger digest.
+// Because every block digest folds in its predecessor, two runs with equal
+// digests committed the exact same block sequence — a compact fingerprint
+// for determinism tests.
+func (c *Cluster) LedgerDigest() crypto.Digest {
+	return c.ConsNodes[0].blocks.LastDigest()
+}
+
 // TotalCommitHeight returns the minimum commit height across normal nodes.
 func (c *Cluster) TotalCommitHeight() uint64 {
 	min := ^uint64(0)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
@@ -630,7 +631,7 @@ func (n *ConsNode) evaluateResult(e ResultEntry) {
 	resultDig := (&ledger.RWSet{Writes: union, Aborted: aborted}).Digest()
 	sr := &storedResult{entry: e, vecDigest: e.VectorDigest(), consistent: consistent, resultDig: resultDig}
 	if e.Seq == DebugWatchSeqCN && n.idx == 0 {
-		DebugWatchStoredAt = n.ctx.Now()
+		DebugWatchStoredAt.Store(int64(n.ctx.Now()))
 	}
 	n.persisted[e.Seq] = sr
 	n.persistOut = append(n.persistOut, PersistEntry{
@@ -664,13 +665,15 @@ func vectorApproved(tx *types.Transaction, vec []OrgResult) bool {
 	return true
 }
 
-var DebugPersistFlush, DebugPersistFlushEntries int
+// Debug counters are atomic so concurrent simulations (the parallel sweep
+// runner) can increment them without tripping the race detector.
+var DebugPersistFlush, DebugPersistFlushEntries atomic.Int64
 var DebugWatchSeqCN uint64
-var DebugWatchStoredAt time.Duration
+var DebugWatchStoredAt atomic.Int64 // virtual time in nanoseconds
 
 func (n *ConsNode) flushPersist() {
-	DebugPersistFlush++
-	DebugPersistFlushEntries += len(n.persistOut)
+	DebugPersistFlush.Add(1)
+	DebugPersistFlushEntries.Add(int64(len(n.persistOut)))
 	if len(n.persistOut) == 0 {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/contract"
@@ -660,12 +661,14 @@ func (n *NormalNode) flushResults() {
 
 // onPersist counts PERSIST echoes; 2f+1 matching vectors mark the result
 // persisted (Algo 2 lines 15-18).
-var DebugOnPersist, DebugOnPersistBadSig int
+// Debug counters are atomic so concurrent simulations (the parallel sweep
+// runner) can increment them without tripping the race detector.
+var DebugOnPersist, DebugOnPersistBadSig atomic.Int64
 var DebugWatchSeq uint64
-var DebugWatchHits, DebugWatchCommitted int
+var DebugWatchHits, DebugWatchCommitted atomic.Int64
 
 func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
-	DebugOnPersist++
+	DebugOnPersist.Add(1)
 	cn, ok := n.c.cnIndex[from]
 	if !ok || cn != m.Node {
 		return
@@ -676,15 +679,15 @@ func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
 	// normal nodes on persist-echo verification.
 	n.ctx.Elapse(n.c.Cfg.Costs.MACVerify)
 	if !n.c.Scheme.Verify(cnIdentity(m.Node), persistSigningBytes(m.Node, m.Entries), m.Sig) {
-		DebugOnPersistBadSig++
+		DebugOnPersistBadSig.Add(1)
 		return
 	}
 	progressed := false
 	for _, e := range m.Entries {
 		if e.Seq == DebugWatchSeq && n.org == 0 && n.idxInOrg == 0 {
-			DebugWatchHits++
+			DebugWatchHits.Add(1)
 			if n.pool.isCommitted(e.TxID) {
-				DebugWatchCommitted++
+				DebugWatchCommitted.Add(1)
 			}
 		}
 		if n.pool.isCommitted(e.TxID) {

@@ -24,6 +24,15 @@ type Collector struct {
 	phaseTotal map[string]time.Duration
 	phaseCount map[string]int
 
+	// latCache memoizes the sorted latency slice for the last queried
+	// window: Avg/P50/P99 over the same [from, to) would otherwise each
+	// copy and re-sort every commit latency. A new commit invalidates it.
+	latCache      []time.Duration
+	latCacheSum   time.Duration
+	latCacheFrom  time.Duration
+	latCacheTo    time.Duration
+	latCacheValid bool
+
 	// counters
 	Reexecuted     uint64 // transactions re-executed in commit fallback
 	Speculated     uint64 // transactions executed speculatively
@@ -71,6 +80,7 @@ func (c *Collector) Committed(id types.TxID, at time.Duration, aborted bool) {
 	if aborted {
 		c.aborted[id] = true
 	}
+	c.latCacheValid = false
 }
 
 // IsCommitted reports whether id has a recorded commit.
@@ -128,18 +138,29 @@ func (c *Collector) EffectiveThroughput(from, to time.Duration) float64 {
 }
 
 // latencies returns sorted commit latencies for transactions committed in
-// [from, to).
+// [from, to). The result is cached (along with its sum) until the next
+// commit or a query for a different window; callers must not mutate it.
 func (c *Collector) latencies(from, to time.Duration) []time.Duration {
-	var ls []time.Duration
+	if c.latCacheValid && c.latCacheFrom == from && c.latCacheTo == to {
+		return c.latCache
+	}
+	ls := c.latCache[:0]
+	var sum time.Duration
 	for id, at := range c.committed {
 		if at < from || at >= to {
 			continue
 		}
 		if sub, ok := c.submitted[id]; ok {
 			ls = append(ls, at-sub)
+			sum += at - sub
 		}
 	}
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	c.latCache = ls
+	c.latCacheSum = sum
+	c.latCacheFrom = from
+	c.latCacheTo = to
+	c.latCacheValid = true
 	return ls
 }
 
@@ -149,11 +170,7 @@ func (c *Collector) AvgLatency(from, to time.Duration) time.Duration {
 	if len(ls) == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, l := range ls {
-		sum += l
-	}
-	return sum / time.Duration(len(ls))
+	return c.latCacheSum / time.Duration(len(ls))
 }
 
 // PercentileLatency returns the p-quantile (0 < p <= 1) latency in [from,to).

@@ -88,6 +88,31 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+func TestLatencyCacheInvalidation(t *testing.T) {
+	c := NewCollector()
+	for i := byte(1); i <= 10; i++ {
+		c.Submitted(id(i), 0)
+		c.Committed(id(i), time.Duration(i)*time.Millisecond, false)
+	}
+	// Prime the cache, then query the same window repeatedly.
+	if p50 := c.PercentileLatency(0.5, 0, time.Second); p50 != 5*time.Millisecond {
+		t.Fatalf("p50 %v", p50)
+	}
+	if avg := c.AvgLatency(0, time.Second); avg != 5500*time.Microsecond {
+		t.Fatalf("avg %v", avg)
+	}
+	// A new commit must invalidate the cached sort.
+	c.Submitted(id(11), 0)
+	c.Committed(id(11), 100*time.Millisecond, false)
+	if p100 := c.PercentileLatency(1.0, 0, time.Second); p100 != 100*time.Millisecond {
+		t.Fatalf("p100 after new commit %v, want 100ms (stale cache?)", p100)
+	}
+	// A different window must bypass the cache too.
+	if p100 := c.PercentileLatency(1.0, 0, 50*time.Millisecond); p100 != 10*time.Millisecond {
+		t.Fatalf("p100 over narrow window %v, want 10ms", p100)
+	}
+}
+
 func TestTimelineBuckets(t *testing.T) {
 	c := NewCollector()
 	// 10 commits in bucket 0, 20 in bucket 1; one abort in bucket 1.

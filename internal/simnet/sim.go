@@ -10,7 +10,6 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,38 +17,36 @@ import (
 
 // event is a scheduled closure. Events at the same instant fire in the order
 // they were scheduled (seq tie-break), which keeps simulations deterministic.
+// Events are stored by value inside the heap's backing array: scheduling one
+// never heap-allocates an event node and never boxes through an interface.
 type event struct {
 	at  time.Duration
 	seq uint64
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (at, seq).
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Sim is a discrete-event simulator with a virtual clock.
 // It is not safe for concurrent use; all node logic runs inside the event
-// loop on a single goroutine.
+// loop on a single goroutine. Distinct Sims share nothing, so independent
+// simulations may run on separate goroutines concurrently.
+//
+// The event queue is an inline 4-ary min-heap of event values. The 4-ary
+// layout halves the sift-down depth versus a binary heap and keeps four
+// sibling keys on one cache line; storing values (not pointers) means the
+// backing array doubles as a free list of event slots — a pop vacates a slot
+// that the next push reuses, so the steady-state event loop allocates
+// nothing. Vacated slots are zeroed so the GC can reclaim closures.
 type Sim struct {
 	now     time.Duration
-	events  eventHeap
+	events  []event // 4-ary min-heap ordered by event.before
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -70,6 +67,9 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Events reports how many events have been executed so far.
 func (s *Sim) Events() uint64 { return s.nEvents }
 
+// Pending reports how many events are waiting in the queue.
+func (s *Sim) Pending() int { return len(s.events) }
+
 // At schedules fn at absolute virtual time t. Scheduling in the past panics:
 // it would silently reorder causality.
 func (s *Sim) At(t time.Duration, fn func()) {
@@ -77,7 +77,7 @@ func (s *Sim) At(t time.Duration, fn func()) {
 		panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	s.push(event{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d after the current virtual time.
@@ -88,6 +88,62 @@ func (s *Sim) After(d time.Duration, fn func()) {
 	s.At(s.now+d, fn)
 }
 
+// push inserts e, sifting parents down along the insertion path instead of
+// swapping, so each level costs one copy.
+func (s *Sim) push(e event) {
+	h := append(s.events, event{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	s.events = h
+}
+
+// pop removes and returns the earliest event. The vacated tail slot is
+// zeroed (releasing the closure) but the backing array is kept, so the slot
+// is reused by the next push.
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	s.events = h
+	return top
+}
+
 // Stop halts the event loop after the currently running event returns.
 func (s *Sim) Stop() { s.stopped = true }
 
@@ -95,7 +151,7 @@ func (s *Sim) Stop() { s.stopped = true }
 func (s *Sim) Run() {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
-		e := heap.Pop(&s.events).(*event)
+		e := s.pop()
 		s.now = e.at
 		s.nEvents++
 		e.fn()
@@ -110,7 +166,7 @@ func (s *Sim) RunUntil(t time.Duration) {
 		if s.events[0].at > t {
 			break
 		}
-		e := heap.Pop(&s.events).(*event)
+		e := s.pop()
 		s.now = e.at
 		s.nEvents++
 		e.fn()
