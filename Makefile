@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench-json
+.PHONY: all build test race vet fmt-check ci bench-json trace-smoke
 
 all: build
 
@@ -26,7 +26,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+ci: fmt-check vet build race trace-smoke
+
+# End-to-end trace smoke: a short traced run must produce a valid,
+# Perfetto-loadable Chrome trace (parses, has spans and counter tracks).
+trace-smoke:
+	$(GO) run ./cmd/bidl-sim -rate 4000 -duration 300ms -trace /tmp/bidl-trace-smoke.json > /dev/null
+	$(GO) run ./cmd/bidl-trace-check /tmp/bidl-trace-smoke.json
 
 # Regenerate the BENCH_*.json perf trail (quick scale). Serial first, then
 # the same sweep on 4 workers; tables are byte-identical, only wall-clock

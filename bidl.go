@@ -28,6 +28,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/metrics"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 	"github.com/bidl-framework/bidl/internal/workload"
 )
@@ -71,6 +72,13 @@ type (
 	BroadcasterConfig = attack.BroadcasterConfig
 	// Broadcaster is the malicious-broadcaster adversary.
 	Broadcaster = attack.Broadcaster
+	// Tracer records per-transaction lifecycle spans and node/link
+	// telemetry; attach one via Config.Tracer / BaselineConfig.Tracer.
+	Tracer = trace.Tracer
+	// TraceOptions tunes a Tracer's bucket width and ring capacities.
+	TraceOptions = trace.Options
+	// TraceSummaryOptions tunes Tracer.WriteSummary.
+	TraceSummaryOptions = trace.SummaryOptions
 )
 
 // Protocol names for Config.Protocol.
@@ -99,6 +107,11 @@ func DefaultWorkload(numOrgs int) WorkloadConfig { return workload.DefaultConfig
 // DefaultTopology returns the paper's single-datacenter network (0.2 ms
 // RTT, 40 Gbps).
 func DefaultTopology() Topology { return simnet.DefaultTopology() }
+
+// NewTracer returns a tracing sink; attach it via Config.Tracer (or
+// BaselineConfig.Tracer) before building the cluster. Zero options pick
+// 10 ms telemetry buckets and a 256k-event span ring.
+func NewTracer(o TraceOptions) *Tracer { return trace.New(o) }
 
 // MultiDCTopology returns the §6.4 cross-datacenter network with the given
 // shared inter-datacenter bandwidth in bytes/s (see GbpsBandwidth).

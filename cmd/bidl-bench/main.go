@@ -18,21 +18,23 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 
 	"github.com/bidl-framework/bidl"
 )
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment ID to run (or \"all\")")
-		list     = flag.Bool("list", false, "list available experiments")
-		scale    = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		csv      = flag.String("csv", "", "also write results as CSV to this file")
-		quiet    = flag.Bool("q", false, "suppress progress logging")
-		jobs     = flag.Int("j", 1, "concurrent sweep points (1 = serial)")
-		parallel = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
-		jsonOut  = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
+		run       = flag.String("run", "", "experiment ID to run (or \"all\")")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		csv       = flag.String("csv", "", "also write results as CSV to this file")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		jobs      = flag.Int("j", 1, "concurrent sweep points (1 = serial)")
+		parallel  = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
+		jsonOut   = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
+		telemetry = flag.Bool("telemetry", false, "trace every run and print per-run telemetry summaries to stderr")
 	)
 	flag.Parse()
 
@@ -54,6 +56,15 @@ func main() {
 	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers}
 	if !*quiet {
 		opts.Log = os.Stderr
+	}
+	if *telemetry {
+		// Sweep points may finish concurrently (-j); serialize the reports.
+		var mu sync.Mutex
+		opts.TraceSink = func(tr *bidl.Tracer) {
+			mu.Lock()
+			defer mu.Unlock()
+			tr.WriteSummary(os.Stderr, bidl.TraceSummaryOptions{TopNodes: 5, TopTxs: 3})
+		}
 	}
 
 	ids := []string{*run}

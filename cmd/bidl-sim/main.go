@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -45,8 +46,17 @@ func main() {
 		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs with -runs > 1")
 		timeline   = flag.Bool("timeline", false, "print a 100ms-bucket throughput timeline (single run only)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto; single run only)")
+		traceJSONL = flag.String("trace-jsonl", "", "write raw trace events as JSON lines (single run only)")
+		telemetry  = flag.Bool("telemetry", false, "print per-node/per-link telemetry and slowest-transaction spans")
 	)
 	flag.Parse()
+
+	tracing := *traceOut != "" || *traceJSONL != "" || *telemetry
+	if tracing && *runs != 1 {
+		fmt.Fprintln(os.Stderr, "bidl-sim: -trace/-trace-jsonl/-telemetry require -runs 1")
+		os.Exit(2)
+	}
 
 	type outcome struct {
 		seed      int64
@@ -55,6 +65,7 @@ func main() {
 		report    string
 		safetyErr error
 		timeline  []float64
+		tracer    *bidl.Tracer
 	}
 
 	runOne := func(runSeed int64) outcome {
@@ -72,6 +83,10 @@ func main() {
 			cfg.Topology.LossRate = *loss
 			cfg.ViewTimeout = 400 * time.Millisecond
 			cfg.BlockTimeout = 25 * time.Millisecond
+		}
+
+		if tracing {
+			cfg.Tracer = bidl.NewTracer(bidl.TraceOptions{})
 		}
 
 		w := bidl.DefaultWorkload(*orgs)
@@ -112,6 +127,7 @@ func main() {
 		if *timeline && *runs == 1 {
 			out.timeline = col.Timeline(100*time.Millisecond, *duration+500*time.Millisecond)
 		}
+		out.tracer = cfg.Tracer
 		return out
 	}
 
@@ -168,7 +184,43 @@ func main() {
 		fmt.Printf("--- aggregate over %d seeds: mean throughput %.0f txns/s ---\n",
 			*runs, sumTput/float64(*runs))
 	}
+	if tracing {
+		tr := outcomes[0].tracer
+		if *telemetry {
+			fmt.Println()
+			tr.WriteSummary(os.Stdout, bidl.TraceSummaryOptions{})
+		}
+		if *traceOut != "" {
+			if err := writeTraceFile(*traceOut, tr.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+				failed = true
+			} else {
+				fmt.Printf("wrote Chrome trace to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+			}
+		}
+		if *traceJSONL != "" {
+			if err := writeTraceFile(*traceJSONL, tr.WriteJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+				failed = true
+			} else {
+				fmt.Printf("wrote trace events to %s\n", *traceJSONL)
+			}
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile streams one export into path.
+func writeTraceFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

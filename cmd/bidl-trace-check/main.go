@@ -1,0 +1,78 @@
+// Command bidl-trace-check validates a Chrome trace-event JSON file produced
+// by bidl-sim -trace: the file must parse, declare microsecond-friendly
+// metadata, and contain at least one complete ("X") transaction span and one
+// counter ("C") track. Used by `make trace-smoke` to keep the exporter
+// loadable in Perfetto / chrome://tracing.
+//
+// Usage: bidl-trace-check trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+type event struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bidl-trace-check <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail(err.Error())
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fail("invalid JSON: " + err.Error())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		fail(fmt.Sprintf("displayTimeUnit = %q, want \"ms\"", tf.DisplayTimeUnit))
+	}
+	var spans, counters, meta, instants int
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 || e.TS < 0 {
+				fail(fmt.Sprintf("span %q has negative ts/dur", e.Name))
+			}
+			spans++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		case "i":
+			instants++
+		default:
+			fail(fmt.Sprintf("unexpected event phase %q", e.Ph))
+		}
+	}
+	if spans == 0 {
+		fail("no complete (\"X\") spans — no transaction made it through the pipeline")
+	}
+	if counters == 0 {
+		fail("no counter (\"C\") tracks — node telemetry missing")
+	}
+	fmt.Printf("ok: %d events (%d spans, %d counters, %d metadata, %d instants)\n",
+		len(tf.TraceEvents), spans, counters, meta, instants)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "bidl-trace-check:", msg)
+	os.Exit(1)
+}

@@ -50,6 +50,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	sim := simnet.NewSim(cfg.Seed)
 	net := simnet.NewNetwork(sim, cfg.Topology)
+	net.SetTracer(cfg.Tracer)
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("fabric-%d", cfg.Seed)))
 	reg := contract.NewRegistry()
 	reg.Deploy(contract.SmallBank{})

@@ -26,6 +26,7 @@ import (
 
 	"github.com/bidl-framework/bidl/internal/cost"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 )
 
 // Variant selects which baseline framework a cluster emulates.
@@ -72,6 +73,10 @@ type Config struct {
 	Topology simnet.Topology
 	NumDCs   int
 	Seed     int64
+
+	// Tracer, when non-nil, records per-transaction lifecycle spans and
+	// node/link telemetry (see internal/trace). Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors evaluation setting A for the given variant.

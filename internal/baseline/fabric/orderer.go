@@ -227,6 +227,14 @@ func (o *Orderer) ViewChanged(view uint64, leader int, metas [][]byte) {
 // RandInt implements consensus.Host.
 func (o *Orderer) RandInt(n int) int { return o.c.Sim.Rand().Intn(n) }
 
+// ConsensusPhase implements consensus.PhaseRecorder: ordering-service
+// protocol milestones land on the tracer's consensus track.
+func (o *Orderer) ConsensusPhase(phase string, view, seq uint64) {
+	if tr := o.c.Cfg.Tracer; tr != nil {
+		tr.Phase(phase, int(o.ep.ID()), view, seq, o.ctx.Now())
+	}
+}
+
 // Proposed implements consensus.Host (unused by the baselines).
 func (o *Orderer) Proposed(seq uint64, v consensus.Value) {}
 

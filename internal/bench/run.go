@@ -9,6 +9,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/core"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/workload"
 )
 
@@ -75,6 +76,9 @@ func (r bidlRun) run(o Options) (Result, *core.Cluster) {
 	if r.Drain == 0 {
 		r.Drain = 500 * time.Millisecond
 	}
+	if o.TraceSink != nil && r.Cfg.Tracer == nil {
+		r.Cfg.Tracer = trace.New(trace.Options{})
+	}
 	c := core.NewCluster(r.Cfg)
 	r.Workload.NumOrgs = r.Cfg.NumOrgs
 	gen := workload.NewGenerator(r.Workload, c.Scheme)
@@ -90,6 +94,9 @@ func (r bidlRun) run(o Options) (Result, *core.Cluster) {
 	scheduleLoadBIDL(c, gen, r.Rate, r.Window)
 	c.Run(r.Window + r.Drain)
 	o.addEvents(c.Sim.Events())
+	if o.TraceSink != nil && r.Cfg.Tracer != nil {
+		o.TraceSink(r.Cfg.Tracer)
+	}
 	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
 	res.Events = c.Sim.Events()
 	return res, c
@@ -113,6 +120,9 @@ func (r fabricRun) run(o Options) (Result, *fabric.Cluster) {
 	if r.Drain == 0 {
 		r.Drain = 500 * time.Millisecond
 	}
+	if o.TraceSink != nil && r.Cfg.Tracer == nil {
+		r.Cfg.Tracer = trace.New(trace.Options{})
+	}
 	c := fabric.NewCluster(r.Cfg)
 	r.Workload.NumOrgs = r.Cfg.NumOrgs
 	gen := workload.NewGenerator(r.Workload, c.Scheme)
@@ -128,6 +138,9 @@ func (r fabricRun) run(o Options) (Result, *fabric.Cluster) {
 	scheduleLoadFabric(c, gen, r.Rate, r.Window)
 	c.Run(r.Window + r.Drain)
 	o.addEvents(c.Sim.Events())
+	if o.TraceSink != nil && r.Cfg.Tracer != nil {
+		o.TraceSink(r.Cfg.Tracer)
+	}
 	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
 	res.Events = c.Sim.Events()
 	return res, c

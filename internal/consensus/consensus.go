@@ -69,6 +69,21 @@ type Host interface {
 	RandInt(n int) int
 }
 
+// PhaseRecorder is an optional Host capability: hosts that also implement it
+// receive protocol milestone annotations (pre-prepare sent, prepare/commit
+// quorum formed, QC assembled, ...) for tracing. Protocols report milestones
+// through the Phase helper so hosts without the capability pay nothing.
+type PhaseRecorder interface {
+	ConsensusPhase(phase string, view, seq uint64)
+}
+
+// Phase reports a protocol milestone to the host if it records phases.
+func Phase(h Host, phase string, view, seq uint64) {
+	if r, ok := h.(PhaseRecorder); ok {
+		r.ConsensusPhase(phase, view, seq)
+	}
+}
+
 // LeaderPolicy maps views to leader indices. BIDL supplies its random
 // epoch-rotation policy (§4.6); baselines use round-robin.
 type LeaderPolicy interface {

@@ -262,11 +262,13 @@ func (r *Replica) onVote(from int, m *Msg) {
 	qc := crypto.Signature(qcDigest[:])
 	switch p {
 	case 0:
+		consensus.Phase(r.host, "prepare-qc", r.view, m.Seq)
 		r.host.BroadcastCN(&Msg{Kind: kindPreCommit, View: r.view, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest, QC: qc})
 		r.host.Elapse(r.cfg.SigSign)
 		in.votes[1][r.cfg.Self] = r.host.Sign(signBytes(1, r.view, m.Seq, m.Digest))
 		in.phase = phasePreCommit
 	case 1:
+		consensus.Phase(r.host, "precommit-qc", r.view, m.Seq)
 		r.host.BroadcastCN(&Msg{Kind: kindCommit, View: r.view, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest, QC: qc})
 		r.host.Elapse(r.cfg.SigSign)
 		in.locked = true
@@ -343,6 +345,7 @@ func (r *Replica) decide(seq uint64, in *instance, cert *types.Certificate) {
 	in.decided = true
 	in.phase = phaseDecided
 	r.decidedCnt++
+	consensus.Phase(r.host, "decided", cert.View, seq)
 	r.host.Deliver(seq, consensus.Value{Digest: in.digest, Data: in.data}, cert)
 	if r.hasUndecided() {
 		r.armTimer()

@@ -142,6 +142,7 @@ func (r *Replica) proposeAt(seq uint64, v consensus.Value) {
 	in := r.inst(seq)
 	in.digest, in.data, in.havePP = v.Digest, v.Data, true
 	r.host.Proposed(seq, v)
+	consensus.Phase(r.host, "pre-prepare", r.view, seq)
 	r.host.Elapse(r.cfg.MACCompute) // authenticate the pre-prepare
 	r.host.BroadcastCN(&Msg{Kind: kindPrePrepare, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: v.Digest, Data: v.Data})
 	// The leader's own prepare is implicit in the pre-prepare.
@@ -226,6 +227,7 @@ func (r *Replica) maybePrepared(seq uint64, in *instance) {
 		return
 	}
 	in.sentComm = true
+	consensus.Phase(r.host, "prepared", r.view, seq)
 	r.host.Elapse(r.cfg.SigSign)
 	sig := r.host.Sign(types.CertSigningBytes(r.view, seq, in.digest))
 	in.commits[r.cfg.Self] = sig
@@ -255,6 +257,7 @@ func (r *Replica) maybeDecide(seq uint64, in *instance) {
 	}
 	in.decided = true
 	r.decidedCnt++
+	consensus.Phase(r.host, "committed", r.view, seq)
 	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
 	for _, node := range consensus.SortedNodes(in.commits) {
 		cert.Sigs = append(cert.Sigs, types.NodeSig{Node: node, Sig: in.commits[node]})

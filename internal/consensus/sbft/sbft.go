@@ -258,6 +258,7 @@ func (r *Replica) acceptShare(from int, seq uint64, in *instance, sig crypto.Sig
 
 // emitProof combines shares into one aggregate proof and broadcasts it.
 func (r *Replica) emitProof(seq uint64, in *instance, limit int) {
+	consensus.Phase(r.host, "proof", r.view, seq)
 	r.host.Elapse(r.cfg.ThresholdCombine)
 	cert := &types.Certificate{View: r.view, Number: seq, Digest: in.digest}
 	for _, node := range consensus.SortedNodes(in.shares) {
@@ -294,6 +295,7 @@ func (r *Replica) decide(seq uint64, in *instance, cert *types.Certificate) {
 	}
 	in.decided = true
 	r.decidedCnt++
+	consensus.Phase(r.host, "decided", cert.View, seq)
 	r.host.Deliver(seq, consensus.Value{Digest: in.digest, Data: in.data}, cert)
 	if r.hasUndecided() {
 		r.armTimer()

@@ -225,6 +225,7 @@ func (r *Replica) acceptSpec(from int, seq uint64, in *instance, sig crypto.Sign
 	in.specs[from] = sig
 	if len(in.specs) >= r.cfg.FastQuorum() {
 		// Fast path: everyone responded consistently.
+		consensus.Phase(r.host, "fast-quorum", r.view, seq)
 		cert := r.buildCert(seq, in, in.specs, r.cfg.FastQuorum())
 		r.host.BroadcastCN(&Msg{Kind: kindCommitFast, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Data: in.data, Certs: cert.Sigs})
 		r.decide(seq, in, cert)
@@ -243,6 +244,7 @@ func (r *Replica) acceptSpec(from int, seq uint64, in *instance, sig crypto.Sign
 				return
 			}
 			in.sentCC = true
+			consensus.Phase(r.host, "commit-cert", r.view, seq)
 			cert := r.buildCert(seq, in, in.specs, r.cfg.Quorum())
 			r.host.BroadcastCN(&Msg{Kind: kindCommitCert, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Certs: cert.Sigs})
 			// The collector's own local commit.
@@ -337,6 +339,7 @@ func (r *Replica) decide(seq uint64, in *instance, cert *types.Certificate) {
 	}
 	in.decided = true
 	r.decidedCnt++
+	consensus.Phase(r.host, "decided", cert.View, seq)
 	r.host.Deliver(seq, consensus.Value{Digest: in.digest, Data: in.data}, cert)
 	if r.hasUndecided() {
 		r.armTimer()

@@ -5,6 +5,7 @@ import (
 
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -37,6 +38,9 @@ func (cl *ClientNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg sim
 			}
 			delete(cl.pending, e.TxID)
 			cl.c.Collector.Committed(e.TxID, ctx.Now(), e.Aborted)
+			if tr := cl.c.tracer; tr != nil {
+				tr.TxStage(e.TxID, trace.StageNotified, int(cl.ep.ID()), ctx.Now())
+			}
 		}
 	case *SubmitBatch:
 		// Self-delivered by Cluster.SubmitAt: sign-off and send onward.
@@ -49,6 +53,9 @@ func (cl *ClientNode) submit(ctx *simnet.Context, txns []*types.Transaction) {
 	for _, tx := range txns {
 		cl.pending[tx.ID()] = tx
 		cl.c.Collector.Submitted(tx.ID(), ctx.Now())
+		if tr := cl.c.tracer; tr != nil {
+			tr.TxStage(tx.ID(), trace.StageSubmit, int(cl.ep.ID()), ctx.Now())
+		}
 	}
 	leader := cl.c.leaderIdx()
 	ctx.Send(cl.c.Sequencers[leader].ep.ID(), &SubmitBatch{Txns: txns})

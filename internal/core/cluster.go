@@ -15,6 +15,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/ledger"
 	"github.com/bidl-framework/bidl/internal/metrics"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -58,6 +59,7 @@ type Cluster struct {
 	clientEps map[crypto.Identity]simnet.NodeID
 	policy    consensus.LeaderPolicy
 	keyOwner  contract.KeyOwnerFunc
+	tracer    *trace.Tracer
 
 	violations []string
 }
@@ -74,6 +76,7 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	sim := simnet.NewSim(cfg.Seed)
 	net := simnet.NewNetwork(sim, cfg.Topology)
+	net.SetTracer(cfg.Tracer)
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
 	reg := contract.NewRegistry()
 	reg.Deploy(contract.SmallBank{})
@@ -92,6 +95,7 @@ func NewCluster(cfg Config) *Cluster {
 		// BIDL's unpredictable epoch rotation (§4.6).
 		policy:   consensus.RandomEpoch{N: cfg.NumConsensus, Seed: seed},
 		keyOwner: cfg.KeyOwner,
+		tracer:   cfg.Tracer,
 	}
 	if c.keyOwner == nil {
 		c.keyOwner = contract.SmallBankKeyOwner(cfg.NumOrgs)

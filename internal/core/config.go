@@ -14,6 +14,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/contract"
 	"github.com/bidl-framework/bidl/internal/cost"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 )
 
 // Protocol names accepted by Config.Protocol.
@@ -96,6 +97,11 @@ type Config struct {
 	NumDCs   int
 	// Seed drives all simulation randomness.
 	Seed int64
+
+	// Tracer, when non-nil, records per-transaction lifecycle spans and
+	// node/link telemetry for the whole cluster (see internal/trace). Nil
+	// disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's evaluation setting A: four consensus

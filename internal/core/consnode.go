@@ -3,13 +3,13 @@ package core
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/ledger"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -402,6 +402,15 @@ func (n *ConsNode) VerifyNode(node int, data []byte, sig crypto.Signature) bool 
 // RandInt implements consensus.Host.
 func (n *ConsNode) RandInt(m int) int { return n.c.Sim.Rand().Intn(m) }
 
+// ConsensusPhase implements consensus.PhaseRecorder: protocol milestones
+// (pre-prepare, prepared, committed, QC formations, ...) land on the tracer's
+// consensus track.
+func (n *ConsNode) ConsensusPhase(phase string, view, seq uint64) {
+	if tr := n.c.tracer; tr != nil {
+		tr.Phase(phase, int(n.ep.ID()), view, seq, n.ctx.Now())
+	}
+}
+
 // Proposed implements consensus.Host: record the leader's proposal so
 // matching result vectors can persist without waiting for agreement.
 func (n *ConsNode) Proposed(seq uint64, v consensus.Value) {
@@ -522,6 +531,13 @@ func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
 	// (end of Phase 3: "assembles transactions into a block and delivers
 	// the block to normal nodes").
 	if leaderOfBlock == n.idx {
+		// A single deterministic authority (the disseminating leader)
+		// records agreement for each ordered transaction.
+		if tr := n.c.tracer; tr != nil {
+			for _, h := range blk.hashes {
+				tr.TxStage(h, trace.StageAgreed, int(n.ep.ID()), n.ctx.Now())
+			}
+		}
 		bm := &BlockMsg{Number: number, Ordering: types.EncodeOrdering(blk.seqs, blk.hashes), Cert: blk.cert}
 		if cfg.DisableMulticast {
 			n.ctx.MulticastUnicast(groupBlocks, bm)
@@ -630,9 +646,6 @@ func (n *ConsNode) evaluateResult(e ResultEntry) {
 	aborted := e.Aborted()
 	resultDig := (&ledger.RWSet{Writes: union, Aborted: aborted}).Digest()
 	sr := &storedResult{entry: e, vecDigest: e.VectorDigest(), consistent: consistent, resultDig: resultDig}
-	if e.Seq == DebugWatchSeqCN && n.idx == 0 {
-		DebugWatchStoredAt.Store(int64(n.ctx.Now()))
-	}
 	n.persisted[e.Seq] = sr
 	n.persistOut = append(n.persistOut, PersistEntry{
 		Seq: e.Seq, TxID: e.TxID, VecDigest: sr.vecDigest,
@@ -665,15 +678,9 @@ func vectorApproved(tx *types.Transaction, vec []OrgResult) bool {
 	return true
 }
 
-// Debug counters are atomic so concurrent simulations (the parallel sweep
-// runner) can increment them without tripping the race detector.
-var DebugPersistFlush, DebugPersistFlushEntries atomic.Int64
-var DebugWatchSeqCN uint64
-var DebugWatchStoredAt atomic.Int64 // virtual time in nanoseconds
-
 func (n *ConsNode) flushPersist() {
-	DebugPersistFlush.Add(1)
-	DebugPersistFlushEntries.Add(int64(len(n.persistOut)))
+	n.c.Collector.Reg.Inc("cn.persist_flushes", 1)
+	n.c.Collector.Reg.Inc("cn.persist_flush_entries", uint64(len(n.persistOut)))
 	if len(n.persistOut) == 0 {
 		return
 	}

@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/contract"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/ledger"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -286,6 +286,13 @@ func (n *NormalNode) onSeqBatch(m *SeqBatch) {
 		switch res {
 		case poolAdded:
 			n.arrival[st.Seq] = n.ctx.Now()
+			// The corresponding org's delegate is the single deterministic
+			// authority for a transaction's delivered/executed/persisted
+			// stages, so traces stay identical across node counts.
+			if tr := n.c.tracer; tr != nil && n.isDelegate() &&
+				orgIndex(st.Tx.CorrespondingOrg()) == n.org {
+				tr.TxStage(st.Tx.ID(), trace.StageDelivered, int(n.ep.ID()), n.ctx.Now())
+			}
 			if n.specInit && st.Seq < n.specNext {
 				// A gap filled in late (loss or attack): speculation
 				// beyond it used the wrong order. Reset (§4.3
@@ -452,6 +459,10 @@ func (n *NormalNode) executeSpec(seq uint64, tx *types.Transaction) {
 	}
 	n.spec[seq] = sr
 	n.c.Collector.Speculated++
+	if tr := n.c.tracer; tr != nil && n.isDelegate() &&
+		orgIndex(tx.CorrespondingOrg()) == n.org {
+		tr.TxStage(tx.ID(), trace.StageExecuted, int(n.ep.ID()), n.ctx.Now())
+	}
 	if at, ok := n.arrival[seq]; ok {
 		n.c.Collector.Phase("verexec", n.ctx.Now()-at)
 		delete(n.arrival, seq)
@@ -661,14 +672,8 @@ func (n *NormalNode) flushResults() {
 
 // onPersist counts PERSIST echoes; 2f+1 matching vectors mark the result
 // persisted (Algo 2 lines 15-18).
-// Debug counters are atomic so concurrent simulations (the parallel sweep
-// runner) can increment them without tripping the race detector.
-var DebugOnPersist, DebugOnPersistBadSig atomic.Int64
-var DebugWatchSeq uint64
-var DebugWatchHits, DebugWatchCommitted atomic.Int64
-
 func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
-	DebugOnPersist.Add(1)
+	n.c.Collector.Reg.Inc("nn.persist_msgs", 1)
 	cn, ok := n.c.cnIndex[from]
 	if !ok || cn != m.Node {
 		return
@@ -679,17 +684,11 @@ func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
 	// normal nodes on persist-echo verification.
 	n.ctx.Elapse(n.c.Cfg.Costs.MACVerify)
 	if !n.c.Scheme.Verify(cnIdentity(m.Node), persistSigningBytes(m.Node, m.Entries), m.Sig) {
-		DebugOnPersistBadSig.Add(1)
+		n.c.Collector.Reg.Inc("nn.persist_badsig", 1)
 		return
 	}
 	progressed := false
 	for _, e := range m.Entries {
-		if e.Seq == DebugWatchSeq && n.org == 0 && n.idxInOrg == 0 {
-			DebugWatchHits.Add(1)
-			if n.pool.isCommitted(e.TxID) {
-				DebugWatchCommitted.Add(1)
-			}
-		}
 		if n.pool.isCommitted(e.TxID) {
 			continue
 		}
@@ -719,6 +718,9 @@ func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
 				if vb, ok := n.vectors[e.TxID]; ok && vb.sent {
 					n.c.Collector.Phase("persist", n.ctx.Now()-vb.start)
 					delete(n.vectors, e.TxID)
+					if tr := n.c.tracer; tr != nil {
+						tr.TxStage(e.TxID, trace.StagePersisted, int(n.ep.ID()), n.ctx.Now())
+					}
 				}
 			}
 		}

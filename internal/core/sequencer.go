@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -95,6 +96,9 @@ func (s *SequencerNode) ingest(ctx *simnet.Context, txns []*types.Transaction) {
 		}
 		s.pending = append(s.pending, types.SequencedTx{Seq: s.nextSeq, Tx: out})
 		s.nextSeq++
+		if tr := s.c.tracer; tr != nil {
+			tr.TxStage(out.ID(), trace.StageSequenced, int(s.ep.ID()), ctx.Now())
+		}
 		if len(s.pending) >= s.c.Cfg.SeqBatchMax {
 			s.flush(ctx)
 		}

@@ -7,6 +7,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -20,9 +21,8 @@ type Collector struct {
 	committed map[types.TxID]time.Duration
 	aborted   map[types.TxID]bool
 
-	// phase accumulates total duration and sample count per named phase.
-	phaseTotal map[string]time.Duration
-	phaseCount map[string]int
+	// Reg holds named counters and histogram-backed phase timings.
+	Reg *Registry
 
 	// latCache memoizes the sorted latency slice for the last queried
 	// window: Avg/P50/P99 over the same [from, to) would otherwise each
@@ -49,11 +49,10 @@ type Collector struct {
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
 	return &Collector{
-		submitted:  make(map[types.TxID]time.Duration),
-		committed:  make(map[types.TxID]time.Duration),
-		aborted:    make(map[types.TxID]bool),
-		phaseTotal: make(map[string]time.Duration),
-		phaseCount: make(map[string]int),
+		submitted: make(map[types.TxID]time.Duration),
+		committed: make(map[types.TxID]time.Duration),
+		aborted:   make(map[types.TxID]bool),
+		Reg:       NewRegistry(),
 	}
 }
 
@@ -89,19 +88,20 @@ func (c *Collector) IsCommitted(id types.TxID) bool {
 	return ok
 }
 
-// Phase accumulates one sample of a named phase duration.
+// Phase accumulates one sample of a named phase duration into the registry
+// (histogram "phase.<name>"). Sums and counts are exact, so PhaseAvg matches
+// the old ad-hoc accumulator to the nanosecond.
 func (c *Collector) Phase(name string, d time.Duration) {
-	c.phaseTotal[name] += d
-	c.phaseCount[name]++
+	c.Reg.Observe("phase."+name, d)
 }
 
 // PhaseAvg returns the mean duration of a named phase.
 func (c *Collector) PhaseAvg(name string) time.Duration {
-	n := c.phaseCount[name]
-	if n == 0 {
+	h := c.Reg.Histogram("phase." + name)
+	if h == nil {
 		return 0
 	}
-	return c.phaseTotal[name] / time.Duration(n)
+	return h.Avg()
 }
 
 // NumSubmitted returns the number of distinct submitted transactions.
@@ -134,7 +134,7 @@ func (c *Collector) EffectiveThroughput(from, to time.Duration) float64 {
 			n++
 		}
 	}
-	return float64(n) / to.Seconds() * (float64(to) / float64(to-from))
+	return float64(n) / (to - from).Seconds()
 }
 
 // latencies returns sorted commit latencies for transactions committed in
@@ -173,13 +173,16 @@ func (c *Collector) AvgLatency(from, to time.Duration) time.Duration {
 	return c.latCacheSum / time.Duration(len(ls))
 }
 
-// PercentileLatency returns the p-quantile (0 < p <= 1) latency in [from,to).
+// PercentileLatency returns the p-quantile (0 < p <= 1) latency in [from,to)
+// by the nearest-rank method: the ceil(p*n)-th smallest sample. Flooring the
+// rank instead (the previous int(p*n)) under-reports whenever p*n is not an
+// integer — e.g. p99 over 10 samples returned the 9th instead of the 10th.
 func (c *Collector) PercentileLatency(p float64, from, to time.Duration) time.Duration {
 	ls := c.latencies(from, to)
 	if len(ls) == 0 {
 		return 0
 	}
-	idx := int(p*float64(len(ls))) - 1
+	idx := int(math.Ceil(p*float64(len(ls)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
@@ -202,7 +205,12 @@ func (c *Collector) Timeline(width, horizon time.Duration) []float64 {
 		if c.aborted[id] || at >= horizon {
 			continue
 		}
-		buckets[int(at/width)]++
+		// When horizon is not an integer multiple of width, commits in the
+		// partial tail window [n*width, horizon) have no full bucket; they
+		// are dropped rather than indexing past the slice.
+		if idx := int(at / width); idx < n {
+			buckets[idx]++
+		}
 	}
 	for i := range buckets {
 		buckets[i] /= width.Seconds()

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"github.com/bidl-framework/bidl/internal/trace"
 )
 
 // NodeID identifies an endpoint within a Network.
@@ -113,6 +115,11 @@ type Network struct {
 	totalMessages uint64
 	totalBytes    uint64
 	interDCBytes  uint64
+
+	// tracer, when non-nil, receives node/link telemetry from the hot
+	// paths. Every hook is guarded by a nil check so disabled tracing adds
+	// zero allocations (TestUntracedDeliveryAllocs pins this).
+	tracer *trace.Tracer
 }
 
 // NewNetwork creates a network over the given simulator and topology.
@@ -135,6 +142,21 @@ func (n *Network) Topology() Topology { return n.topo }
 // that change loss or bandwidth on the fly).
 func (n *Network) SetTopology(t Topology) { n.topo = t }
 
+// SetTracer attaches (or, with nil, detaches) a telemetry tracer. Endpoints
+// already registered are named into the tracer, so attach order does not
+// matter.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	n.tracer = t
+	if t != nil {
+		for _, e := range n.endpoints {
+			t.RegisterNode(int(e.id), e.name, e.dc)
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (n *Network) Tracer() *trace.Tracer { return n.tracer }
+
 // TotalMessages reports how many messages have been accepted for delivery.
 func (n *Network) TotalMessages() uint64 { return n.totalMessages }
 
@@ -149,6 +171,9 @@ func (n *Network) InterDCBytes() uint64 { return n.interDCBytes }
 func (n *Network) Register(name string, dc int, h Handler) *Endpoint {
 	e := &Endpoint{id: NodeID(len(n.endpoints)), name: name, dc: dc, net: n, handler: h}
 	n.endpoints = append(n.endpoints, e)
+	if n.tracer != nil {
+		n.tracer.RegisterNode(int(e.id), name, dc)
+	}
 	if s, ok := h.(Starter); ok {
 		n.sim.At(0, func() {
 			if e.down {
@@ -220,13 +245,24 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 		from.egressFree = txDone
 	}
 
+	if n.tracer != nil {
+		n.tracer.Sent(int(from.id), depart, size)
+		n.tracer.Wire(from.dc, dst.dc, txDone, size)
+	}
+
 	if n.DropFilter != nil && n.DropFilter(from.id, to, msg) {
 		dst.stats.Dropped++
+		if n.tracer != nil {
+			n.tracer.Dropped(int(dst.id), txDone)
+		}
 		return
 	}
 	// Random loss, independent per receiver.
 	if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
 		dst.stats.Dropped++
+		if n.tracer != nil {
+			n.tracer.Dropped(int(dst.id), txDone)
+		}
 		return
 	}
 
@@ -250,10 +286,16 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 	n.sim.At(arrive, func() {
 		if dst.down {
 			dst.stats.Dropped++
+			if n.tracer != nil {
+				n.tracer.Dropped(int(dst.id), arrive)
+			}
 			return
 		}
 		dst.stats.Received++
 		dst.stats.BytesRecvd += uint64(size)
+		if n.tracer != nil {
+			n.tracer.Received(int(dst.id), arrive, size)
+		}
 		dst.enqueue(delivery{from: from.id, msg: msg})
 	})
 }
@@ -277,6 +319,18 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 	from.stats.BytesSent += uint64(size)
 	n.totalMessages += uint64(len(targets))
 	n.totalBytes += uint64(size)
+	if n.tracer != nil {
+		n.tracer.Sent(int(from.id), depart, size)
+		// One wire crossing per destination datacenter (the router
+		// replicates the payload), mirroring the pipe accounting below.
+		seenDC := make(map[int]bool)
+		for _, t := range targets {
+			if dst := n.Endpoint(t); dst != nil && !seenDC[dst.dc] {
+				seenDC[dst.dc] = true
+				n.tracer.Wire(from.dc, dst.dc, txDone, size)
+			}
+		}
+	}
 
 	// Pay each inter-DC pipe once.
 	pipeDone := make(map[int]time.Duration)
@@ -317,10 +371,16 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 		}
 		if n.DropFilter != nil && n.DropFilter(from.id, t, msg) {
 			dst.stats.Dropped++
+			if n.tracer != nil {
+				n.tracer.Dropped(int(dst.id), txDone)
+			}
 			continue
 		}
 		if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
 			dst.stats.Dropped++
+			if n.tracer != nil {
+				n.tracer.Dropped(int(dst.id), txDone)
+			}
 			continue
 		}
 		ready := txDone
@@ -332,10 +392,16 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 		n.sim.At(arrive, func() {
 			if d.down {
 				d.stats.Dropped++
+				if n.tracer != nil {
+					n.tracer.Dropped(int(d.id), arrive)
+				}
 				return
 			}
 			d.stats.Received++
 			d.stats.BytesRecvd += uint64(size)
+			if n.tracer != nil {
+				n.tracer.Received(int(d.id), arrive, size)
+			}
 			d.enqueue(delivery{from: from.id, msg: msg})
 		})
 	}
@@ -364,6 +430,9 @@ func (e *Endpoint) enqueue(d delivery) {
 	if len(e.queue) > e.stats.MaxQueue {
 		e.stats.MaxQueue = len(e.queue)
 	}
+	if e.net.tracer != nil {
+		e.net.tracer.Queue(int(e.id), e.net.sim.now, len(e.queue))
+	}
 	if !e.processing {
 		e.processNext()
 	}
@@ -390,6 +459,9 @@ func (e *Endpoint) processNext() {
 		e.handler.OnMessage(ctx, d.from, d.msg)
 	}
 	e.stats.BusyTime += ctx.elapsed
+	if e.net.tracer != nil {
+		e.net.tracer.Busy(int(e.id), ctx.start, ctx.elapsed)
+	}
 	e.net.sim.After(ctx.elapsed, func() { e.processNext() })
 }
 

@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/trace"
+)
+
+// TestUntracedDeliveryAllocs pins the allocation cost of the unicast delivery
+// path with tracing disabled. The tracer hooks are all guarded by nil checks,
+// so a nil tracer must cost exactly what the pre-tracing event loop cost:
+// 4 allocs/op (delivery closure + handler Context + processNext continuation
+// + its closure environment). If this number grows, a tracing hook leaked
+// onto the disabled path.
+func TestUntracedDeliveryAllocs(t *testing.T) {
+	s := NewSim(1)
+	n := NewNetwork(s, DefaultTopology())
+	sink := HandlerFunc(func(*Context, NodeID, Message) {})
+	src := n.Register("src", 0, sink)
+	dst := n.Register("dst", 0, sink)
+	var msg Message = testMsg{size: 256} // pre-boxed so the interface conversion isn't measured
+	to := dst.ID()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		ctx := NewInjectedContext(n, src)
+		ctx.Send(to, msg)
+		s.Run()
+	})
+	if allocs > 4 {
+		t.Fatalf("untraced delivery = %v allocs/op, want <= 4 (tracing hook on disabled path?)", allocs)
+	}
+}
+
+// TestTracerHooksRecord drives traffic through a traced network and checks
+// that every telemetry channel saw it: bytes out at the sender, bytes in at
+// the receiver, queue depth, CPU busy time, and bytes on the wire.
+func TestTracerHooksRecord(t *testing.T) {
+	s := NewSim(1)
+	n := NewNetwork(s, DefaultTopology())
+	tr := trace.New(trace.Options{BucketWidth: 10 * time.Millisecond})
+
+	busy := HandlerFunc(func(ctx *Context, _ NodeID, _ Message) {
+		ctx.Elapse(100 * time.Microsecond)
+	})
+	src := n.Register("src", 0, busy)
+	dst := n.Register("dst", 0, busy)
+
+	// Attaching after registration must backfill node names.
+	n.SetTracer(tr)
+	if got := tr.NodeName(int(dst.ID())); got != "dst" {
+		t.Fatalf("NodeName after late attach = %q, want \"dst\"", got)
+	}
+
+	var msg Message = testMsg{size: 512}
+	for i := 0; i < 5; i++ {
+		ctx := NewInjectedContext(n, src)
+		ctx.Send(dst.ID(), msg)
+	}
+	s.Run()
+
+	sum := func(id int, f func(trace.NodeBucket) uint64) uint64 {
+		var total uint64
+		for _, b := range tr.NodeBuckets(id) {
+			total += f(b)
+		}
+		return total
+	}
+	if got := sum(int(src.ID()), func(b trace.NodeBucket) uint64 { return b.BytesOut }); got != 5*512 {
+		t.Errorf("src BytesOut = %d, want %d", got, 5*512)
+	}
+	if got := sum(int(dst.ID()), func(b trace.NodeBucket) uint64 { return b.BytesIn }); got != 5*512 {
+		t.Errorf("dst BytesIn = %d, want %d", got, 5*512)
+	}
+	if got := sum(int(dst.ID()), func(b trace.NodeBucket) uint64 { return b.Delivered }); got != 5 {
+		t.Errorf("dst Delivered = %d, want 5", got)
+	}
+	var maxQ int
+	var busyTotal time.Duration
+	for _, b := range tr.NodeBuckets(int(dst.ID())) {
+		if b.MaxQueue > maxQ {
+			maxQ = b.MaxQueue
+		}
+		busyTotal += b.Busy
+	}
+	if maxQ == 0 {
+		t.Error("dst MaxQueue never recorded")
+	}
+	if busyTotal != dst.Stats().BusyTime {
+		t.Errorf("traced busy %v != endpoint BusyTime %v", busyTotal, dst.Stats().BusyTime)
+	}
+}
+
+// TestTracerRecordsDrops covers the three drop sites: DropFilter, random
+// loss, and a crashed destination.
+func TestTracerRecordsDrops(t *testing.T) {
+	s := NewSim(1)
+	n := NewNetwork(s, DefaultTopology())
+	tr := trace.New(trace.Options{})
+	n.SetTracer(tr)
+	sink := HandlerFunc(func(*Context, NodeID, Message) {})
+	src := n.Register("src", 0, sink)
+	dst := n.Register("dst", 0, sink)
+	var msg Message = testMsg{size: 64}
+
+	n.DropFilter = func(from, to NodeID, m Message) bool { return true }
+	NewInjectedContext(n, src).Send(dst.ID(), msg)
+	s.Run()
+	n.DropFilter = nil
+
+	dst.SetDown(true)
+	NewInjectedContext(n, src).Send(dst.ID(), msg)
+	s.Run()
+	dst.SetDown(false)
+
+	var drops uint64
+	for _, b := range tr.NodeBuckets(int(dst.ID())) {
+		drops += b.Dropped
+	}
+	if drops != 2 {
+		t.Fatalf("traced drops = %d, want 2 (filter + down)", drops)
+	}
+	if dst.Stats().Dropped != 2 {
+		t.Fatalf("endpoint drops = %d, want 2", dst.Stats().Dropped)
+	}
+}
+
+// BenchmarkEndpointDelivery and BenchmarkEndpointDeliveryTraced bracket the
+// cost of the tracing hooks on the unicast hot path. Compare allocs/op: the
+// untraced variant must match the pre-tracing baseline exactly.
+func BenchmarkEndpointDelivery(b *testing.B)       { benchDelivery(b, false) }
+func BenchmarkEndpointDeliveryTraced(b *testing.B) { benchDelivery(b, true) }
+
+func benchDelivery(b *testing.B, traced bool) {
+	s := NewSim(1)
+	n := NewNetwork(s, DefaultTopology())
+	if traced {
+		n.SetTracer(trace.New(trace.Options{}))
+	}
+	sink := HandlerFunc(func(*Context, NodeID, Message) {})
+	src := n.Register("src", 0, sink)
+	dst := n.Register("dst", 0, sink)
+	var msg Message = testMsg{size: 256}
+	to := dst.ID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewInjectedContext(n, src)
+		ctx.Send(to, msg)
+		s.Run()
+	}
+}
