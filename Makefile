@@ -5,7 +5,8 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench-json trace-smoke
+.PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
+	profile bench-hotpath hotpath-smoke
 
 all: build
 
@@ -26,7 +27,28 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race trace-smoke
+ci: fmt-check vet build race trace-smoke hotpath-smoke
+
+# One-transaction smoke run of the end-to-end pipeline benchmark so the
+# hot-path suite can never bitrot (it also asserts the txn commits).
+hotpath-smoke:
+	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkPipelineHotPath -benchtime 1x
+
+# Full hot-path benchmark suite: end-to-end pipeline cost plus the simnet
+# delivery/event-loop microbenchmarks it builds on.
+bench-hotpath:
+	$(GO) test ./internal/bench/ -run XXX -bench BenchmarkPipelineHotPath -benchtime 2s
+	$(GO) test ./internal/simnet/ -run XXX -bench 'BenchmarkEndpointDelivery|BenchmarkSimEventLoop|BenchmarkSimBroadcast'
+
+# Capture CPU + allocation profiles of the fig5 sweep (the profile-guided
+# optimization loop). Inspect with:
+#   go tool pprof /tmp/bidl-bench.bin /tmp/bidl-cpu.pprof
+#   go tool pprof -sample_index=alloc_objects /tmp/bidl-bench.bin /tmp/bidl-mem.pprof
+profile:
+	$(GO) build -o /tmp/bidl-bench.bin ./cmd/bidl-bench
+	/tmp/bidl-bench.bin -run fig5 -scale 0.15 -q \
+		-cpuprofile /tmp/bidl-cpu.pprof -memprofile /tmp/bidl-mem.pprof > /dev/null
+	@echo "profiles: /tmp/bidl-cpu.pprof /tmp/bidl-mem.pprof (binary /tmp/bidl-bench.bin)"
 
 # End-to-end trace smoke: a short traced run must produce a valid,
 # Perfetto-loadable Chrome trace (parses, has spans and counter tracks).

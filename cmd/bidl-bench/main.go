@@ -8,9 +8,14 @@
 //	bidl-bench -run all -parallel       # sweep points across all cores
 //	bidl-bench -run all -j 4 -bench-json BENCH_parallel.json
 //	bidl-bench -run table4 -csv out.csv
+//	bidl-bench -run fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Sweep points are independent seeded simulations, so -j/-parallel changes
 // only wall-clock time: tables are byte-identical to a serial run.
+//
+// The -cpuprofile/-memprofile flags capture pprof profiles of the harness
+// itself (the profile-guided-optimization loop behind `make profile`):
+// inspect with `go tool pprof <binary> <profile>`.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"github.com/bidl-framework/bidl"
@@ -35,8 +41,38 @@ func main() {
 		parallel  = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
 		jsonOut   = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "trace every run and print per-run telemetry summaries to stderr")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close() // LIFO: closes after the profile is flushed
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			}
+		}()
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

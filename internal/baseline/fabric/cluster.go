@@ -198,10 +198,12 @@ func (c *Cluster) CheckSafety() error {
 	if len(c.violations) > 0 {
 		return fmt.Errorf("fabric: %d runtime safety violations, first: %s", len(c.violations), c.violations[0])
 	}
-	// Compare each peer against one reference per commit height; digests
-	// are computed once per peer (they are O(state size)).
+	// Compare each peer against one reference per commit height. Direct
+	// map comparison (ledger.State.Equal) checks the same relation a
+	// digest comparison did, without sorting and hashing every peer's
+	// full state — the former top entry in short sweeps' CPU profiles.
 	var ref *Peer
-	refDigest := map[uint64]crypto.Digest{}
+	refState := map[uint64]*Peer{}
 	for _, org := range c.Peers {
 		for _, p := range org {
 			if ref == nil {
@@ -209,13 +211,12 @@ func (c *Cluster) CheckSafety() error {
 			} else if !ref.blocks.CommonPrefixEqual(p.blocks) {
 				return fmt.Errorf("fabric: peer ledgers diverge (%s vs %s)", ref.orgName, p.orgName)
 			}
-			d := p.state.Digest()
-			if prev, ok := refDigest[p.commitHeight]; ok {
-				if prev != d {
+			if prev, ok := refState[p.commitHeight]; ok {
+				if !prev.state.Equal(p.state) {
 					return fmt.Errorf("fabric: peer states diverge at height %d", p.commitHeight)
 				}
 			} else {
-				refDigest[p.commitHeight] = d
+				refState[p.commitHeight] = p
 			}
 		}
 	}

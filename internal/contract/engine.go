@@ -34,6 +34,7 @@ type TxContext struct {
 	staged map[string][]byte
 	dels   map[string]bool
 	nondet *rand.Rand
+	keys   []string // scratch for seal's sorted key pass
 }
 
 // NewTxContext creates a context reading from view. nondet, when non-nil, is
@@ -83,29 +84,53 @@ func (c *TxContext) Nondet() *rand.Rand {
 	return c.nondet
 }
 
-// finish seals the read-write set. Writes are emitted in sorted key order so
-// result digests are canonical.
-func (c *TxContext) finish(aborted bool) *ledger.RWSet {
-	rw := c.rw
-	rw.Aborted = aborted
+// seal orders the staged writes into c.rw. Writes are emitted in sorted key
+// order so result digests are canonical.
+func (c *TxContext) seal(aborted bool) {
+	c.rw.Aborted = aborted
 	if !aborted {
-		keys := make([]string, 0, len(c.staged)+len(c.dels))
+		c.keys = c.keys[:0]
 		for k := range c.staged {
-			keys = append(keys, k)
+			c.keys = append(c.keys, k)
 		}
 		for k := range c.dels {
-			keys = append(keys, k)
+			c.keys = append(c.keys, k)
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
+		sort.Strings(c.keys)
+		for _, k := range c.keys {
 			if c.dels[k] {
-				rw.Writes = append(rw.Writes, ledger.Write{Key: k, Delete: true})
+				c.rw.Writes = append(c.rw.Writes, ledger.Write{Key: k, Delete: true})
 			} else {
-				rw.Writes = append(rw.Writes, ledger.Write{Key: k, Val: c.staged[k]})
+				c.rw.Writes = append(c.rw.Writes, ledger.Write{Key: k, Val: c.staged[k]})
 			}
 		}
 	}
+}
+
+// finish seals the read-write set and returns it as a standalone value whose
+// lifetime is independent of the context.
+func (c *TxContext) finish(aborted bool) *ledger.RWSet {
+	c.seal(aborted)
+	rw := c.rw
 	return &rw
+}
+
+// reset re-arms the context for another invocation, reusing its maps and
+// slice backings. Any RWSet previously sealed in place (ExecuteTransient) is
+// invalidated.
+func (c *TxContext) reset(view StateView, nondet *rand.Rand) {
+	c.view = view
+	c.nondet = nondet
+	c.rw.Reads = c.rw.Reads[:0]
+	c.rw.Writes = c.rw.Writes[:0]
+	c.rw.Aborted = false
+	if c.staged == nil {
+		c.staged = make(map[string][]byte)
+		c.dels = make(map[string]bool)
+	} else {
+		clear(c.staged)
+		clear(c.dels)
+	}
 }
 
 // Contract is a deployed smart contract.
@@ -144,6 +169,31 @@ func (r *Registry) Execute(view StateView, tx *types.Transaction, nondet *rand.R
 	}
 	err := safeInvoke(c, ctx, tx.Fn, tx.Args)
 	return ctx.finish(err != nil)
+}
+
+// ExecScratch is a reusable execution context for ExecuteTransient. Each
+// call reuses the embedded TxContext's maps and the RW-set's backing slices,
+// so repeated executions settle at zero steady-state allocations.
+type ExecScratch struct {
+	ctx TxContext
+}
+
+// ExecuteTransient is Execute with a caller-owned scratch context. The
+// returned RWSet aliases the scratch and is valid ONLY until the next
+// ExecuteTransient call with the same scratch — use it where the result is
+// consumed immediately and discarded, e.g. the delegate's redundant
+// re-execution that only compares digests (§4.4 non-determinism check).
+func (r *Registry) ExecuteTransient(view StateView, tx *types.Transaction, nondet *rand.Rand, sc *ExecScratch) *ledger.RWSet {
+	c := r.contracts[tx.Contract]
+	ctx := &sc.ctx
+	ctx.reset(view, nondet)
+	if c == nil {
+		ctx.seal(true)
+	} else {
+		err := safeInvoke(c, ctx, tx.Fn, tx.Args)
+		ctx.seal(err != nil)
+	}
+	return &ctx.rw
 }
 
 func safeInvoke(c Contract, ctx *TxContext, fn string, args [][]byte) (err error) {

@@ -3,6 +3,7 @@ package contract
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // SmallBank implements the SmallBank benchmark contract used throughout the
@@ -24,11 +25,29 @@ type SmallBank struct{}
 // Name implements Contract.
 func (SmallBank) Name() string { return "smallbank" }
 
+// sbKeys holds an account's interned state keys. The workload's account
+// space is small and hit millions of times across a sweep, so the key
+// strings are built once per account and shared: state maps, RW sets, and
+// overlays all reference the same backing strings instead of churning a
+// fresh concatenation per invocation. sync.Map because parallel sweeps
+// (-j N) execute SmallBank concurrently; the cache is append-only.
+type sbKeys struct{ chk, sav string }
+
+var sbKeyCache sync.Map // acct string → *sbKeys
+
+func sbKeysFor(acct string) *sbKeys {
+	if v, ok := sbKeyCache.Load(acct); ok {
+		return v.(*sbKeys)
+	}
+	v, _ := sbKeyCache.LoadOrStore(acct, &sbKeys{chk: "sb:chk:" + acct, sav: "sb:sav:" + acct})
+	return v.(*sbKeys)
+}
+
 // CheckingKey returns the world-state key for an account's checking balance.
-func CheckingKey(acct string) string { return "sb:chk:" + acct }
+func CheckingKey(acct string) string { return sbKeysFor(acct).chk }
 
 // SavingsKey returns the world-state key for an account's savings balance.
-func SavingsKey(acct string) string { return "sb:sav:" + acct }
+func SavingsKey(acct string) string { return sbKeysFor(acct).sav }
 
 func getBal(ctx *TxContext, key string) (int64, bool) {
 	raw, ok := ctx.GetState(key)

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// TestSequencerMulticastFanoutAllocs pins (in the style of simnet's
+// TestUntracedDeliveryAllocs) the allocation cost of the sequencer's batch
+// multicast: size and inter-DC pipe accounting are computed once per
+// emission, so the fan-out must cost roughly one allocation (the delivery
+// closure) per receiver, not per-receiver recomputation of the batch.
+func TestSequencerMulticastFanoutAllocs(t *testing.T) {
+	c, gen := buildCluster(t, smallConfig(), defaultWorkload())
+	seq := c.Sequencers[0]
+
+	txns := gen.Batch(8)
+	sts := make([]types.SequencedTx, len(txns))
+	for i, tx := range txns {
+		sts[i] = types.SequencedTx{Seq: uint64(i), Tx: tx}
+	}
+	batch := &SeqBatch{View: 0, Txns: sts}
+	batch.Size() // one shared object: the size memoizes on first use
+
+	receivers := 0
+	for _, id := range c.Net.Group(groupTxns) {
+		if id != seq.ep.ID() {
+			receivers++
+		}
+	}
+	if receivers == 0 {
+		t.Fatal("no multicast receivers in txn group")
+	}
+
+	// Warm up once (scratch maps, event heap growth), then measure.
+	simnet.NewInjectedContext(c.Net, seq.ep).Multicast(groupTxns, batch)
+	allocs := testing.AllocsPerRun(100, func() {
+		ctx := simnet.NewInjectedContext(c.Net, seq.ep)
+		ctx.Multicast(groupTxns, batch)
+	})
+	// One delivery closure per receiver plus slack for amortized event-heap
+	// growth (the scheduled deliveries are intentionally left undrained so
+	// only the emission itself is measured).
+	budget := float64(receivers) + 3
+	if allocs > budget {
+		t.Fatalf("sequencer multicast fan-out = %v allocs for %d receivers, want <= %v",
+			allocs, receivers, budget)
+	}
+}
+
+// TestExecutePathAllocs pins the delegate's execute path: the redundant
+// non-determinism re-execution runs through the transient scratch context,
+// so makeOrgResult must settle at a small constant allocation count —
+// re-marshalling or context reallocation would blow well past the budget.
+func TestExecutePathAllocs(t *testing.T) {
+	c, gen := buildCluster(t, smallConfig(), defaultWorkload())
+	nn := c.Orgs[0][0]
+	if !nn.isDelegate() {
+		t.Fatal("first org node is not the delegate")
+	}
+	tx := gen.Batch(1)[0]
+
+	var allocs float64
+	nnWithCtx(c, nn, func() {
+		rw := c.Registry.Execute(nn.overlay, tx, nn.nondet)
+		nn.makeOrgResult(1, tx, rw) // warm the transient scratch
+		allocs = testing.AllocsPerRun(100, func() {
+			nn.makeOrgResult(1, tx, rw)
+		})
+	})
+	// Partition slices, SmallBank's strconv/string conversions inside the
+	// re-execution, and the two partition digests — but no per-call context
+	// maps and no re-marshal.
+	const budget = 30
+	if allocs > budget {
+		t.Fatalf("delegate execute path = %v allocs/op, want <= %d (transient scratch not reused?)",
+			allocs, budget)
+	}
+}

@@ -276,7 +276,7 @@ func (c *Cluster) CheckSafety() error {
 			if org[0].commitHeight != org[j].commitHeight {
 				continue
 			}
-			if org[0].base.Digest() != org[j].base.Digest() {
+			if !org[0].base.Equal(org[j].base) {
 				return fmt.Errorf("core: org %s nodes 0 and %d state diverge at height %d",
 					orgName(o), j, org[0].commitHeight)
 			}

@@ -727,7 +727,7 @@ func (n *ConsNode) onBlockMsg(m *BlockMsg) {
 		return
 	}
 	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
-	if m.Cert.Number != m.Number || m.Cert.Digest != types.OrderingDigest(m.Ordering) {
+	if m.Cert.Number != m.Number || m.Cert.Digest != m.OrderingDig() {
 		return
 	}
 	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {

@@ -78,6 +78,10 @@ type NormalNode struct {
 	specInit bool
 	gapArmed bool
 	nondet   *rand.Rand
+	// execScratch backs the delegate's redundant re-execution, whose result
+	// is digested and discarded within makeOrgResult — the one execution
+	// site where a transient, buffer-reusing run is provably safe.
+	execScratch contract.ExecScratch
 
 	// delegate state (first normal node of the org).
 	vectors   map[types.TxID]*vectorBuild
@@ -481,7 +485,9 @@ func (n *NormalNode) executeSpec(seq uint64, tx *types.Transaction) {
 func (n *NormalNode) makeOrgResult(seq uint64, tx *types.Transaction, rw *ledger.RWSet) OrgResult {
 	owner := n.c.keyOwner
 	part := contract.PartitionWrites(rw, owner, tx, n.orgName)
-	rw2 := n.c.Registry.Execute(n.overlay, tx, n.nondet)
+	// The re-execution's RW set is digested below and never escapes, so the
+	// transient (buffer-reusing) execution path applies.
+	rw2 := n.c.Registry.ExecuteTransient(n.overlay, tx, n.nondet, &n.execScratch)
 	part2 := contract.PartitionWrites(rw2, owner, tx, n.orgName)
 	d1 := (&ledger.RWSet{Writes: part, Aborted: rw.Aborted}).Digest()
 	d2 := (&ledger.RWSet{Writes: part2, Aborted: rw2.Aborted}).Digest()
@@ -745,7 +751,7 @@ func (n *NormalNode) onBlock(m *BlockMsg) {
 	// verification), so the cost is one signature verification plus a
 	// MAC-rate scan of the shares rather than 2f+1 full verifications.
 	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
-	if m.Cert.Number != m.Number || m.Cert.Digest != types.OrderingDigest(m.Ordering) {
+	if m.Cert.Number != m.Number || m.Cert.Digest != m.OrderingDig() {
 		return
 	}
 	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {

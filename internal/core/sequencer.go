@@ -92,6 +92,9 @@ func (s *SequencerNode) ingest(ctx *simnet.Context, txns []*types.Transaction) {
 		s.seen[tx.ID()] = true
 		out := tx
 		if s.Garbage {
+			// tx.Size() is memoized on the (immutable, shared) inbound
+			// transaction, so sizing the forged replacement no longer
+			// re-marshals the original per malicious packet.
 			out = s.garbageTxn(tx.Size())
 		}
 		s.pending = append(s.pending, types.SequencedTx{Seq: s.nextSeq, Tx: out})

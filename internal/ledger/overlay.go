@@ -8,7 +8,7 @@ package ledger
 type Overlay struct {
 	base *State
 	data map[string]entry
-	dels map[string]bool
+	dels map[string]struct{}
 }
 
 // NewOverlay creates an empty overlay over base.
@@ -16,13 +16,13 @@ func NewOverlay(base *State) *Overlay {
 	return &Overlay{
 		base: base,
 		data: make(map[string]entry),
-		dels: make(map[string]bool),
+		dels: make(map[string]struct{}),
 	}
 }
 
 // Get reads through the overlay: speculative writes win over base state.
 func (o *Overlay) Get(key string) (val []byte, ver Version, ok bool) {
-	if o.dels[key] {
+	if _, deleted := o.dels[key]; deleted {
 		return nil, Version{}, false
 	}
 	if e, ok := o.data[key]; ok {
@@ -40,16 +40,20 @@ func (o *Overlay) Put(key string, val []byte, ver Version) {
 // Delete stages a speculative deletion.
 func (o *Overlay) Delete(key string) {
 	delete(o.data, key)
-	o.dels[key] = true
+	o.dels[key] = struct{}{}
 }
 
 // Pending reports the number of staged writes and deletions.
 func (o *Overlay) Pending() int { return len(o.data) + len(o.dels) }
 
 // Discard drops all speculative changes (fallback to sequential workflow).
+// The maps are cleared in place, not reallocated: an overlay is discarded or
+// committed once per block, and reusing the buckets keeps the per-block cost
+// flat. Safe because neither map's iteration order is observable (Commit
+// flushes distinct keys into a map, which commutes).
 func (o *Overlay) Discard() {
-	o.data = make(map[string]entry)
-	o.dels = make(map[string]bool)
+	clear(o.data)
+	clear(o.dels)
 }
 
 // Commit flushes all speculative changes into the base state and resets the

@@ -5,6 +5,7 @@
 package ledger
 
 import (
+	"bytes"
 	"sort"
 
 	"github.com/bidl-framework/bidl/internal/crypto"
@@ -83,6 +84,23 @@ func (s *State) Digest() crypto.Digest {
 		parts = append(parts, []byte(k), s.data[k].val)
 	}
 	return crypto.HashAll(parts...)
+}
+
+// Equal reports whether two states hold identical live key-value pairs —
+// the same relation Digest-comparison checks, without the per-state key sort
+// and hashing. Safety checks over many peers use this; versions are excluded
+// exactly as they are from Digest.
+func (s *State) Equal(o *State) bool {
+	if len(s.data) != len(o.data) {
+		return false
+	}
+	for k, e := range s.data {
+		oe, ok := o.data[k]
+		if !ok || !bytes.Equal(e.val, oe.val) {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone deep-copies the state (values are copied).

@@ -63,9 +63,22 @@ type Endpoint struct {
 	net     *Network
 	handler Handler
 
+	// queue is the inbox, consumed head-first via qHead so that draining
+	// never reallocates: the backing array is reused once empty and
+	// compacted in place when the consumed prefix would force a growth.
 	queue      []delivery
+	qHead      int
 	processing bool
 	down       bool
+
+	// actCtx is the reusable activation context handed to the handler. No
+	// handler retains its context past the activation (the bind/defer
+	// pattern throughout core restores the previous one), so a single
+	// per-endpoint scratch replaces one heap allocation per delivery.
+	actCtx Context
+	// procFn is the processNext continuation, bound once at registration so
+	// scheduling the next delivery does not allocate a fresh closure.
+	procFn func()
 
 	// egressFree is when the NIC finishes serializing the last message.
 	egressFree time.Duration
@@ -90,7 +103,7 @@ func (e *Endpoint) Stats() EndpointStats { return e.stats }
 func (e *Endpoint) SetDown(down bool) { e.down = down }
 
 // QueueLen reports the inbox backlog (for monitoring/backpressure tests).
-func (e *Endpoint) QueueLen() int { return len(e.queue) }
+func (e *Endpoint) QueueLen() int { return len(e.queue) - e.qHead }
 
 // Network connects endpoints according to a Topology.
 type Network struct {
@@ -102,6 +115,13 @@ type Network struct {
 	// pipeFree tracks when the shared inter-DC pipe for an ordered DC pair
 	// becomes free; keyed by fromDC*4096+toDC.
 	pipeFree map[int]time.Duration
+
+	// mcPipeDone and mcSeenDC are scratch maps reused across multicastSend
+	// calls so a fan-out allocates no per-call maps. Safe because
+	// multicastSend runs synchronously inside a single activation (never
+	// re-entered) and the maps are only probed by key, never iterated.
+	mcPipeDone map[int]time.Duration
+	mcSeenDC   map[int]bool
 
 	// LatencyOverride, when non-nil, replaces the topology latency for a
 	// given endpoint pair. Used by tests and by adversarial scenarios that
@@ -125,10 +145,12 @@ type Network struct {
 // NewNetwork creates a network over the given simulator and topology.
 func NewNetwork(sim *Sim, topo Topology) *Network {
 	return &Network{
-		sim:      sim,
-		topo:     topo,
-		groups:   make(map[string][]NodeID),
-		pipeFree: make(map[int]time.Duration),
+		sim:        sim,
+		topo:       topo,
+		groups:     make(map[string][]NodeID),
+		pipeFree:   make(map[int]time.Duration),
+		mcPipeDone: make(map[int]time.Duration),
+		mcSeenDC:   make(map[int]bool),
 	}
 }
 
@@ -170,6 +192,7 @@ func (n *Network) InterDCBytes() uint64 { return n.interDCBytes }
 // returns it. If the handler implements Starter, OnStart fires at time zero.
 func (n *Network) Register(name string, dc int, h Handler) *Endpoint {
 	e := &Endpoint{id: NodeID(len(n.endpoints)), name: name, dc: dc, net: n, handler: h}
+	e.procFn = e.processNext
 	n.endpoints = append(n.endpoints, e)
 	if n.tracer != nil {
 		n.tracer.RegisterNode(int(e.id), name, dc)
@@ -283,21 +306,29 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 		}
 	}
 
-	n.sim.At(arrive, func() {
-		if dst.down {
-			dst.stats.Dropped++
-			if n.tracer != nil {
-				n.tracer.Dropped(int(dst.id), arrive)
-			}
-			return
-		}
-		dst.stats.Received++
-		dst.stats.BytesRecvd += uint64(size)
+	// at and fromID are fresh single-assignment locals so the closure
+	// captures everything by value: the whole delivery costs exactly one
+	// allocation (the closure itself), pinned by TestUntracedDeliveryAllocs.
+	at, fromID := arrive, from.id
+	n.sim.At(at, func() { n.deliver(dst, fromID, msg, at, size) })
+}
+
+// deliver lands a message at its destination at virtual time 'at': the shared
+// tail of the unicast and multicast paths.
+func (n *Network) deliver(dst *Endpoint, from NodeID, msg Message, at time.Duration, size int) {
+	if dst.down {
+		dst.stats.Dropped++
 		if n.tracer != nil {
-			n.tracer.Received(int(dst.id), arrive, size)
+			n.tracer.Dropped(int(dst.id), at)
 		}
-		dst.enqueue(delivery{from: from.id, msg: msg})
-	})
+		return
+	}
+	dst.stats.Received++
+	dst.stats.BytesRecvd += uint64(size)
+	if n.tracer != nil {
+		n.tracer.Received(int(dst.id), at, size)
+	}
+	dst.enqueue(delivery{from: from, msg: msg})
 }
 
 // multicastSend performs an IP-multicast emission: the sender pays NIC
@@ -323,7 +354,8 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 		n.tracer.Sent(int(from.id), depart, size)
 		// One wire crossing per destination datacenter (the router
 		// replicates the payload), mirroring the pipe accounting below.
-		seenDC := make(map[int]bool)
+		seenDC := n.mcSeenDC
+		clear(seenDC)
 		for _, t := range targets {
 			if dst := n.Endpoint(t); dst != nil && !seenDC[dst.dc] {
 				seenDC[dst.dc] = true
@@ -333,9 +365,11 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 	}
 
 	// Pay each inter-DC pipe once.
-	pipeDone := make(map[int]time.Duration)
+	pipeDone := n.mcPipeDone
+	clear(pipeDone)
 	if n.topo.InterDCBandwidth > 0 {
-		seen := make(map[int]bool)
+		seen := n.mcSeenDC
+		clear(seen)
 		for _, t := range targets {
 			dst := n.Endpoint(t)
 			if dst == nil || dst.dc == from.dc || seen[dst.dc] {
@@ -387,23 +421,11 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 		if d, ok := pipeDone[dst.dc]; ok {
 			ready = d
 		}
-		arrive := ready + n.pathLatency(from, dst)
-		d := dst
-		n.sim.At(arrive, func() {
-			if d.down {
-				d.stats.Dropped++
-				if n.tracer != nil {
-					n.tracer.Dropped(int(d.id), arrive)
-				}
-				return
-			}
-			d.stats.Received++
-			d.stats.BytesRecvd += uint64(size)
-			if n.tracer != nil {
-				n.tracer.Received(int(d.id), arrive, size)
-			}
-			d.enqueue(delivery{from: from.id, msg: msg})
-		})
+		// Single-assignment locals for a by-value capture: one closure
+		// allocation per receiver and nothing else.
+		at := ready + n.pathLatency(from, dst)
+		d, fromID := dst, from.id
+		n.sim.At(at, func() { n.deliver(d, fromID, msg, at, size) })
 	}
 }
 
@@ -426,12 +448,20 @@ func (n *Network) pathLatency(from, to *Endpoint) time.Duration {
 
 // enqueue adds a delivery to the endpoint's inbox and kicks the processor.
 func (e *Endpoint) enqueue(d delivery) {
+	if e.qHead > 0 && len(e.queue) == cap(e.queue) {
+		// The consumed prefix would force a reallocation: compact the live
+		// suffix down in place instead and reuse the backing array.
+		live := copy(e.queue, e.queue[e.qHead:])
+		clear(e.queue[live:])
+		e.queue = e.queue[:live]
+		e.qHead = 0
+	}
 	e.queue = append(e.queue, d)
-	if len(e.queue) > e.stats.MaxQueue {
-		e.stats.MaxQueue = len(e.queue)
+	if qlen := len(e.queue) - e.qHead; qlen > e.stats.MaxQueue {
+		e.stats.MaxQueue = qlen
 	}
 	if e.net.tracer != nil {
-		e.net.tracer.Queue(int(e.id), e.net.sim.now, len(e.queue))
+		e.net.tracer.Queue(int(e.id), e.net.sim.now, len(e.queue)-e.qHead)
 	}
 	if !e.processing {
 		e.processNext()
@@ -441,16 +471,20 @@ func (e *Endpoint) enqueue(d delivery) {
 // processNext runs the handler on the head-of-queue delivery. The virtual CPU
 // time charged by the handler defers processing of the next delivery.
 func (e *Endpoint) processNext() {
-	if len(e.queue) == 0 {
+	if e.qHead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qHead = 0
 		e.processing = false
 		return
 	}
 	e.processing = true
-	d := e.queue[0]
-	e.queue = e.queue[1:]
-	ctx := &Context{net: e.net, node: e, start: e.net.sim.Now()}
+	d := e.queue[e.qHead]
+	e.queue[e.qHead] = delivery{} // release the message reference
+	e.qHead++
+	ctx := &e.actCtx
+	*ctx = Context{net: e.net, node: e, start: e.net.sim.Now()}
 	if e.down {
-		e.net.sim.At(e.net.sim.Now(), func() { e.processNext() })
+		e.net.sim.At(e.net.sim.Now(), e.procFn)
 		return
 	}
 	if d.timer != nil {
@@ -462,7 +496,7 @@ func (e *Endpoint) processNext() {
 	if e.net.tracer != nil {
 		e.net.tracer.Busy(int(e.id), ctx.start, ctx.elapsed)
 	}
-	e.net.sim.After(ctx.elapsed, func() { e.processNext() })
+	e.net.sim.After(ctx.elapsed, e.procFn)
 }
 
 // NewInjectedContext returns a context for injecting activity into an

@@ -1,0 +1,62 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+)
+
+// TestTransactionSizeMatchesMarshal is the property gate for the arithmetic
+// Size computation: for arbitrary transactions, the cached Size() must equal
+// the marshal-derived size it replaced, len(Marshal())+Padding.
+func TestTransactionSizeMatchesMarshal(t *testing.T) {
+	prop := func(client string, nonce, view uint64, contract, fn string,
+		args [][]byte, orgs []string, padding uint32, sig []byte) bool {
+		tx := &Transaction{
+			Client:   crypto.Identity(client),
+			Nonce:    nonce,
+			View:     view,
+			Contract: contract,
+			Fn:       fn,
+			Args:     args,
+			Orgs:     orgs,
+			Padding:  padding % (1 << 20), // keep int additions sensible
+			Sig:      crypto.Signature(sig),
+		}
+		return tx.Size() == len(tx.Marshal())+int(tx.Padding)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransactionSizeCacheInvalidation: Sign must invalidate the memoized
+// size and signing bytes, since it replaces the signature (and callers
+// typically populate fields right up until signing).
+func TestTransactionSizeCacheInvalidation(t *testing.T) {
+	scheme := crypto.NewHMACScheme([]byte("s"))
+	tx := sampleTx()
+	scheme.Register(tx.Client)
+
+	unsigned := tx.Size() // prime the cache before the signature exists
+	if err := tx.Sign(scheme); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tx.Size(), len(tx.Marshal())+int(tx.Padding); got != want {
+		t.Fatalf("Size after Sign = %d, want %d (stale cache? unsigned was %d)", got, want, unsigned)
+	}
+	if tx.Size() <= unsigned {
+		t.Fatalf("signed Size %d not larger than unsigned %d", tx.Size(), unsigned)
+	}
+}
+
+// TestSequencedTxSizeMatchesWrapped pins the SequencedTx framing overhead on
+// top of the memoized transaction size.
+func TestSequencedTxSizeMatchesWrapped(t *testing.T) {
+	tx := sampleTx()
+	st := &SequencedTx{Seq: 7, Tx: tx}
+	if got, want := st.Size(), 8+len(tx.Marshal())+int(tx.Padding); got != want {
+		t.Fatalf("SequencedTx.Size = %d, want %d", got, want)
+	}
+}

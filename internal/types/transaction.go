@@ -43,14 +43,24 @@ type Transaction struct {
 
 	id    TxID
 	hasID bool
+	// signing caches SigningBytes and size caches Size: transactions are
+	// immutable once signed (like the id cache above), yet both used to be
+	// recomputed — a full re-marshal per call — at every verification and
+	// bandwidth-accounting site. Sign invalidates all three caches.
+	signing []byte
+	size    int
 }
 
 // SigningBytes returns the canonical encoding covered by the client
-// signature (everything except the signature itself).
+// signature (everything except the signature itself). The encoding is
+// computed once and cached; callers must not mutate the returned slice.
 func (t *Transaction) SigningBytes() []byte {
-	var e enc
-	t.encodeBody(&e)
-	return e.buf
+	if t.signing == nil {
+		var e enc
+		t.encodeBody(&e)
+		t.signing = e.buf
+	}
+	return t.signing
 }
 
 func (t *Transaction) encodeBody(e *enc) {
@@ -125,15 +135,32 @@ func (t *Transaction) ID() TxID {
 }
 
 // Size returns the wire size in bytes, including padding, for bandwidth
-// accounting.
+// accounting. It is computed arithmetically — mirroring the enc layout
+// field-for-field — and cached, so the hot paths (per-hop bandwidth
+// accounting, replay-check hash costing) never re-marshal the transaction.
+// TestTransactionSizeMatchesMarshal pins Size() == len(Marshal())+Padding.
 func (t *Transaction) Size() int {
-	// Structured fields plus declared padding.
-	return len(t.Marshal()) + int(t.Padding)
+	if t.size == 0 {
+		n := 4 + len(t.Client) + 8 + 8 + 4 + len(t.Contract) + 4 + len(t.Fn) + 4
+		for _, a := range t.Args {
+			n += 4 + len(a)
+		}
+		n += 4
+		for _, o := range t.Orgs {
+			n += 4 + len(o)
+		}
+		n += 4 + 4 + len(t.Sig) // padding field + signature
+		t.size = n + int(t.Padding)
+	}
+	return t.size
 }
 
 // Sign signs the transaction as its client using the given scheme, caching
-// the resulting ID.
+// the resulting ID. Mutating any field after Sign invalidates no caches;
+// transactions are immutable once signed.
 func (t *Transaction) Sign(scheme crypto.Scheme) error {
+	t.signing = nil
+	t.size = 0
 	sig, err := scheme.Sign(t.Client, t.SigningBytes())
 	if err != nil {
 		return err
