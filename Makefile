@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
-	profile bench-hotpath hotpath-smoke
+	profile bench-hotpath hotpath-smoke scenario-smoke
 
 all: build
 
@@ -27,7 +27,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race trace-smoke hotpath-smoke
+ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -49,6 +49,18 @@ profile:
 	/tmp/bidl-bench.bin -run fig5 -scale 0.15 -q \
 		-cpuprofile /tmp/bidl-cpu.pprof -memprofile /tmp/bidl-mem.pprof > /dev/null
 	@echo "profiles: /tmp/bidl-cpu.pprof /tmp/bidl-mem.pprof (binary /tmp/bidl-bench.bin)"
+
+# Declarative-scenario smoke: every checked-in example spec must run
+# end-to-end through `bidl-sim -scenario` and pass its safety check, and
+# `bidl-bench -dump-scenarios` must emit the full registry as JSON.
+scenario-smoke:
+	@for f in examples/scenario-*.json; do \
+		echo "scenario-smoke: $$f"; \
+		$(GO) run ./cmd/bidl-sim -scenario $$f | grep -q "safety check: all correct nodes consistent" \
+			|| { echo "scenario-smoke: $$f failed"; exit 1; }; \
+	done
+	@$(GO) run ./cmd/bidl-bench -dump-scenarios -scale 0.1 | grep -q '"id": "fig5"' \
+		|| { echo "scenario-smoke: -dump-scenarios failed"; exit 1; }
 
 # End-to-end trace smoke: a short traced run must produce a valid,
 # Perfetto-loadable Chrome trace (parses, has spans and counter tracks).

@@ -27,6 +27,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/core"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/scenario"
 	"github.com/bidl-framework/bidl/internal/simnet"
 	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
@@ -79,6 +80,17 @@ type (
 	TraceOptions = trace.Options
 	// TraceSummaryOptions tunes Tracer.WriteSummary.
 	TraceSummaryOptions = trace.SummaryOptions
+	// Scenario is the declarative, JSON-round-trippable experiment spec:
+	// one value describes a complete simulated deployment and run
+	// (framework, protocol, topology, workload, attack, load, seed).
+	Scenario = scenario.Scenario
+	// ScenarioResult summarizes one scenario run.
+	ScenarioResult = scenario.Result
+	// ScenarioRunConfig carries runtime-only knobs (tracer, observer).
+	ScenarioRunConfig = scenario.RunConfig
+	// Harness is the framework-agnostic cluster surface the scenario
+	// driver runs against; Cluster and BaselineCluster both implement it.
+	Harness = scenario.Harness
 )
 
 // Protocol names for Config.Protocol.
@@ -141,6 +153,27 @@ func DefaultBroadcasterConfig() BroadcasterConfig { return attack.DefaultBroadca
 // (Table 4 S2).
 func EnableMaliciousLeader(c *Cluster, idx int) { attack.EnableMaliciousLeader(c, idx) }
 
+// Scenario framework names.
+const (
+	FrameworkBIDL        = scenario.FrameworkBIDL
+	FrameworkHLF         = scenario.FrameworkHLF
+	FrameworkFastFabric  = scenario.FrameworkFastFabric
+	FrameworkStreamChain = scenario.FrameworkStreamChain
+)
+
+// ParseScenario decodes a user-authored scenario from JSON, rejecting
+// unknown fields so typos surface as errors.
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// RunScenario validates and executes a declarative scenario through the
+// shared framework-agnostic driver.
+func RunScenario(s Scenario) (ScenarioResult, error) { return scenario.Run(s) }
+
+// RunScenarioWith is RunScenario with runtime knobs (tracing, observers).
+func RunScenarioWith(s Scenario, rc ScenarioRunConfig) (ScenarioResult, error) {
+	return scenario.RunWith(s, rc)
+}
+
 // Experiments lists every registered paper experiment.
 func Experiments() []Experiment { return bench.All() }
 
@@ -151,7 +184,7 @@ func RunExperiment(id string, opts BenchOptions) (*BenchTable, error) {
 	if !ok {
 		return nil, fmt.Errorf("bidl: unknown experiment %q", id)
 	}
-	return e.Run(opts), nil
+	return e.Run(opts)
 }
 
 // MeasureExperiment runs an experiment and also reports its wall-clock

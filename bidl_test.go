@@ -70,7 +70,7 @@ func TestExperimentsRegistryComplete(t *testing.T) {
 	}
 	for _, e := range Experiments() {
 		delete(want, e.ID)
-		if e.Run == nil || e.Description == "" || e.Paper == "" {
+		if e.Scenarios == nil || e.Table == nil || e.Description == "" || e.Paper == "" {
 			t.Fatalf("experiment %s incompletely registered", e.ID)
 		}
 	}

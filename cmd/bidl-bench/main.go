@@ -9,6 +9,12 @@
 //	bidl-bench -run all -j 4 -bench-json BENCH_parallel.json
 //	bidl-bench -run table4 -csv out.csv
 //	bidl-bench -run fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	bidl-bench -dump-scenarios -run fig5    # the sweep as declarative JSON
+//
+// -dump-scenarios prints every sweep point of the selected experiments (all
+// of them when -run is omitted) as declarative scenario JSON instead of
+// running anything; individual specs can be replayed with
+// `bidl-sim -scenario`.
 //
 // Sweep points are independent seeded simulations, so -j/-parallel changes
 // only wall-clock time: tables are byte-identical to a serial run.
@@ -19,8 +25,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +41,7 @@ func main() {
 	var (
 		run       = flag.String("run", "", "experiment ID to run (or \"all\")")
 		list      = flag.Bool("list", false, "list available experiments")
+		dump      = flag.Bool("dump-scenarios", false, "print the selected experiments' sweep points as scenario JSON and exit")
 		scale     = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		csv       = flag.String("csv", "", "also write results as CSV to this file")
@@ -74,7 +83,7 @@ func main() {
 		}()
 	}
 
-	if *list || *run == "" {
+	if *list || (*run == "" && !*dump) {
 		fmt.Println("available experiments:")
 		for _, e := range bidl.Experiments() {
 			fmt.Printf("  %-8s %-10s %s\n", e.ID, e.Paper, e.Description)
@@ -104,11 +113,19 @@ func main() {
 	}
 
 	ids := []string{*run}
-	if *run == "all" {
+	if *run == "all" || *run == "" {
 		ids = ids[:0]
 		for _, e := range bidl.Experiments() {
 			ids = append(ids, e.ID)
 		}
+	}
+
+	if *dump {
+		if err := dumpScenarios(os.Stdout, ids, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var csvOut *os.File
@@ -153,4 +170,30 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// dumpScenarios writes the sweep points of the named experiments as one JSON
+// array of {id, paper, scenarios} entries, preserving registry order. Each
+// scenario in the output is a spec `bidl-sim -scenario` accepts verbatim.
+func dumpScenarios(w io.Writer, ids []string, opts bidl.BenchOptions) error {
+	type entry struct {
+		ID        string          `json:"id"`
+		Paper     string          `json:"paper"`
+		Scenarios []bidl.Scenario `json:"scenarios"`
+	}
+	byID := make(map[string]bidl.Experiment)
+	for _, e := range bidl.Experiments() {
+		byID[e.ID] = e
+	}
+	entries := make([]entry, 0, len(ids))
+	for _, id := range ids {
+		e, ok := byID[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		entries = append(entries, entry{ID: e.ID, Paper: e.Paper, Scenarios: e.Scenarios(opts)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
 }

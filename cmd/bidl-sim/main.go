@@ -9,10 +9,17 @@
 //	bidl-sim -attack broadcaster                # watch the denylist engage
 //	bidl-sim -dcs 4 -inter-gbps 1               # 4 datacenters, 1 Gbps pipes
 //	bidl-sim -runs 8 -j 4                       # 8 seeds, 4 at a time
+//	bidl-sim -scenario examples/scenario-fig5.json
 //
 // With -runs N, seeds seed..seed+N-1 execute as independent simulations on
 // -j concurrent workers; per-seed results print in seed order and are
 // identical to running each seed alone.
+//
+// With -scenario FILE, the deployment is described by a declarative JSON
+// scenario (see DESIGN.md §9) instead of the topology/workload/attack flags,
+// which are ignored; -seed, -runs, -j, -timeline, and the trace flags still
+// apply. `bidl-bench -dump-scenarios` emits the registry's specs in the same
+// format as a starting point.
 package main
 
 import (
@@ -42,6 +49,7 @@ func main() {
 		dcs        = flag.Int("dcs", 1, "number of datacenters")
 		interGbps  = flag.Float64("inter-gbps", 0, "shared inter-DC bandwidth (0 = unlimited)")
 		attackMode = flag.String("attack", "none", "none|leader|broadcaster|smart")
+		scenPath   = flag.String("scenario", "", "run a declarative scenario JSON file (topology/workload/attack flags are ignored)")
 		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -runs)")
 		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs with -runs > 1")
@@ -56,6 +64,46 @@ func main() {
 	if tracing && *runs != 1 {
 		fmt.Fprintln(os.Stderr, "bidl-sim: -trace/-trace-jsonl/-telemetry require -runs 1")
 		os.Exit(2)
+	}
+
+	// In scenario mode the spec supplies topology, workload, load, and
+	// attack; loadWindow/loadRate/total feed the report lines and timeline
+	// bucketing in both modes.
+	var spec bidl.Scenario
+	loadWindow, loadRate := *duration, *rate
+	total := *duration + 500*time.Millisecond
+	if *scenPath != "" {
+		data, err := os.ReadFile(*scenPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+			os.Exit(1)
+		}
+		spec, err = bidl.ParseScenario(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bidl-sim: %s: %v\n", *scenPath, err)
+			os.Exit(1)
+		}
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "bidl-sim: %s: %v\n", *scenPath, err)
+			os.Exit(1)
+		}
+		loadWindow, loadRate = spec.Load.Window.D(), spec.Load.Rate
+		drain := spec.Load.Drain.D()
+		if drain == 0 {
+			drain = 500 * time.Millisecond
+		}
+		total = loadWindow + drain
+		// The spec's own seed is the first seed unless -seed is given.
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) { seedSet = seedSet || f.Name == "seed" })
+		if !seedSet {
+			*seed = spec.EffectiveSeed()
+		}
+		name := spec.Name
+		if name == "" {
+			name = *scenPath
+		}
+		fmt.Printf("scenario %q: framework=%s\n", name, spec.WithDefaults().Framework)
 	}
 
 	type outcome struct {
@@ -125,10 +173,47 @@ func main() {
 			safetyErr: sys.CheckSafety(),
 		}
 		if *timeline && *runs == 1 {
-			out.timeline = col.Timeline(100*time.Millisecond, *duration+500*time.Millisecond)
+			out.timeline = col.Timeline(100*time.Millisecond, total)
 		}
 		out.tracer = cfg.Tracer
 		return out
+	}
+
+	if *scenPath != "" {
+		runOne = func(runSeed int64) outcome {
+			sp := spec
+			sp.Seed = runSeed
+			rc := bidl.ScenarioRunConfig{}
+			if tracing {
+				rc.Tracer = bidl.NewTracer(bidl.TraceOptions{})
+			}
+			res, err := bidl.RunScenarioWith(sp, rc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+				os.Exit(1)
+			}
+			col := res.Collector
+			out := outcome{
+				seed:      runSeed,
+				submitted: res.Submitted,
+				summary: bidl.Summary{
+					Throughput:  res.Throughput,
+					AvgLatency:  res.AvgLatency,
+					P99Latency:  res.P99,
+					Committed:   col.NumCommitted(),
+					AbortRate:   res.AbortRate,
+					SpecSuccess: res.SpecSuccess,
+				},
+				report: fmt.Sprintf("view_changes=%d conflicts=%d reexecuted=%d denied_clients=%d",
+					col.ViewChanges, col.Conflicts, col.Reexecuted, col.DeniedClients),
+				safetyErr: res.SafetyErr,
+				tracer:    rc.Tracer,
+			}
+			if *timeline && *runs == 1 {
+				out.timeline = col.Timeline(100*time.Millisecond, total)
+			}
+			return out
+		}
 	}
 
 	// Fan the seeds out to a worker pool; results land in seed order.
@@ -163,7 +248,7 @@ func main() {
 		if *runs > 1 {
 			fmt.Printf("--- seed %d ---\n", out.seed)
 		}
-		fmt.Printf("submitted %d transactions over %v at %.0f txns/s\n", out.submitted, *duration, *rate)
+		fmt.Printf("submitted %d transactions over %v at %.0f txns/s\n", out.submitted, loadWindow, loadRate)
 		fmt.Println(out.summary)
 		fmt.Println(out.report)
 		if out.safetyErr != nil {

@@ -22,6 +22,7 @@
 package fabric
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/cost"
@@ -109,6 +110,57 @@ func DefaultConfig(v Variant) Config {
 }
 
 func (c Config) quorum() int { return 2*c.F + 1 }
+
+// Validate reports the first configuration error, after applying the same
+// derivation NewCluster performs (NumOrderers = 3F+1 when zero). A Config
+// that validates builds a runnable cluster; scenario.Validate surfaces
+// these errors before any cluster is constructed.
+func (c Config) Validate() error {
+	if c.NumOrderers == 0 {
+		c.NumOrderers = 3*c.F + 1
+	}
+	switch {
+	case c.Variant != HLF && c.Variant != FastFabric && c.Variant != StreamChain:
+		return fmt.Errorf("fabric: unknown variant %d", int(c.Variant))
+	case c.NumOrgs < 1:
+		return fmt.Errorf("fabric: NumOrgs must be >= 1 (got %d)", c.NumOrgs)
+	case c.PeersPerOrg < 1:
+		return fmt.Errorf("fabric: PeersPerOrg must be >= 1 (got %d)", c.PeersPerOrg)
+	case c.NumOrderers < 1:
+		return fmt.Errorf("fabric: NumOrderers must be >= 1 (got %d)", c.NumOrderers)
+	case c.F < 0:
+		return fmt.Errorf("fabric: F must be >= 0 (got %d)", c.F)
+	case c.BlockSize < 1:
+		return fmt.Errorf("fabric: BlockSize must be >= 1 (got %d)", c.BlockSize)
+	case c.BlockTimeout < 0:
+		return fmt.Errorf("fabric: BlockTimeout must be >= 0 (got %s)", c.BlockTimeout)
+	case c.ViewTimeout < 0:
+		return fmt.Errorf("fabric: ViewTimeout must be >= 0 (got %s)", c.ViewTimeout)
+	case c.NumDCs < 0:
+		return fmt.Errorf("fabric: NumDCs must be >= 0 (got %d)", c.NumDCs)
+	}
+	switch c.Protocol {
+	case "", "bft-smart", "raft":
+	default:
+		return fmt.Errorf("fabric: unknown protocol %q", c.Protocol)
+	}
+	// Raft is crash-fault tolerant (2F+1); the BFT ordering service needs
+	// 3F+1.
+	if c.F > 0 {
+		need := 3*c.F + 1
+		if c.Protocol == "raft" {
+			need = 2*c.F + 1
+		}
+		if c.NumOrderers < need {
+			return fmt.Errorf("fabric: NumOrderers %d cannot tolerate F=%d faults under %q (need >= %d)",
+				c.NumOrderers, c.F, c.Protocol, need)
+		}
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+	return nil
+}
 
 // endorsePerTxn returns the endorsement critical-path cost. FastFabric and
 // StreamChain pipeline signature work off the critical path (FastFabric's

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bidl-framework/bidl/internal/scenario"
 	"github.com/bidl-framework/bidl/internal/trace"
 )
 
@@ -136,12 +137,41 @@ func (o Options) scaled(d time.Duration) time.Duration {
 // rate scales an offered load.
 func (o Options) rate(r float64) float64 { return r * o.Scale }
 
-// Experiment regenerates one of the paper's artifacts.
+// Experiment regenerates one of the paper's artifacts. Experiments are
+// pure data over the scenario layer: Scenarios expands the sweep into
+// declarative specs (what `bidl-bench -dump-scenarios` emits), and Table
+// assembles the paper's table from the per-spec results. The Run method
+// executes the sweep through the shared scenario driver.
 type Experiment struct {
 	ID          string
 	Paper       string
 	Description string
-	Run         func(Options) *Table
+	// Scenarios expands the experiment into its sweep of scenario specs,
+	// one per independent simulation run, in table order.
+	Scenarios func(Options) []scenario.Scenario
+	// Table assembles the experiment's table from results indexed in
+	// Scenarios order.
+	Table func(Options, []Result) *Table
+}
+
+// Run validates and executes every sweep point (concurrently per
+// o.Workers) and assembles the table.
+func (e Experiment) Run(o Options) (*Table, error) {
+	specs := e.Scenarios(o)
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("bench: %s sweep point %d (%s): %w", e.ID, i, specs[i].Name, err)
+		}
+	}
+	tasks := make([]func() Result, len(specs))
+	for i := range specs {
+		sp := specs[i]
+		tasks[i] = func() Result {
+			o.logf("%s: %s", e.ID, sp.Name)
+			return runScenario(o, sp)
+		}
+	}
+	return e.Table(o, gather(o, tasks)), nil
 }
 
 var registry = map[string]Experiment{}

@@ -3,6 +3,8 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"github.com/bidl-framework/bidl/internal/scenario"
 )
 
 // TestLossyRunDeterminism guards against map-iteration order leaking into
@@ -14,10 +16,18 @@ import (
 func TestLossyRunDeterminism(t *testing.T) {
 	run := func() uint64 {
 		o := Options{Scale: 0.05, Seed: 1}
-		cfg := settingA(o.Seed)
-		cfg.Topology.LossRate = 0.08
-		r, _ := (bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
-			Rate: o.rate(satBIDL * 3 / 4), Window: o.scaled(1500 * time.Millisecond)}).run(o)
+		sp := scenario.Scenario{
+			Framework: scenario.FrameworkBIDL,
+			Seed:      o.Seed,
+			Topology:  scenario.TopologySpec{LossRate: 0.08},
+			Workload:  scenario.WorkloadSpec{Accounts: 10000},
+			Load: scenario.LoadSpec{Rate: o.rate(satBIDL * 3 / 4),
+				Window: scenario.Duration(o.scaled(1500 * time.Millisecond))},
+		}
+		r, err := scenario.Run(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return r.Events
 	}
 	a, b := run(), run()

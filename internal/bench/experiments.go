@@ -4,19 +4,16 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/bidl-framework/bidl/internal/attack"
-	"github.com/bidl-framework/bidl/internal/baseline/fabric"
-	"github.com/bidl-framework/bidl/internal/core"
-	"github.com/bidl-framework/bidl/internal/simnet"
-	"github.com/bidl-framework/bidl/internal/workload"
+	"github.com/bidl-framework/bidl/internal/scenario"
 )
 
-// Every experiment below is expressed as a flat list of sweep-point tasks
-// handed to gather (see runner.go): each task builds its own cluster from the
-// experiment seed and returns a Result (or a finished row), and the rows are
-// assembled from the gathered slice in sweep order. Task closures must not
-// touch anything but their own captures and o, so serial and parallel
-// execution produce byte-identical tables.
+// Every experiment below is pure data over the scenario layer: Scenarios
+// expands the sweep into declarative scenario specs (each builds its own
+// cluster from the experiment seed via the shared scenario driver), and
+// Table assembles the rows from the gathered results in sweep order.
+// Nothing here touches a cluster directly, so serial and parallel
+// execution produce byte-identical tables, and `bidl-bench
+// -dump-scenarios` can emit every sweep as JSON.
 
 // Default per-framework saturation offered loads (txns/s) in evaluation
 // setting A, calibrated so each framework runs at its natural capacity:
@@ -29,27 +26,29 @@ const (
 	satStream = 3500
 )
 
-// settingA returns the paper's evaluation setting A for BIDL: four consensus
-// nodes (f=1), 50 organizations with one normal node each.
-func settingA(seed int64) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	return cfg
+// spec starts a sweep point: framework + experiment seed + the standard
+// workload (10000 accounts = 1% hot set of 100, per the paper's setup).
+// An otherwise-empty spec compiles to the paper's evaluation setting A.
+func spec(framework, name string, o Options, contention, nondet float64) scenario.Scenario {
+	return scenario.Scenario{
+		Name:      name,
+		Framework: framework,
+		Seed:      o.Seed,
+		Workload:  scenario.WorkloadSpec{Accounts: 10000, Contention: contention, Nondet: nondet},
+	}
 }
 
-func settingAFabric(v fabric.Variant, seed int64) fabric.Config {
-	cfg := fabric.DefaultConfig(v)
-	cfg.Seed = seed
-	return cfg
+// settingB sizes the scalability setting: one consensus node per org.
+func settingB(orgs, nnPerOrg int) scenario.NodesSpec {
+	f := (orgs - 1) / 3
+	if f < 1 {
+		f = 1
+	}
+	return scenario.NodesSpec{Orgs: orgs, PerOrg: nnPerOrg, Consensus: orgs, Faults: f}
 }
 
-func stdWorkload(contention, nondet float64, seed int64) workload.Config {
-	w := workload.DefaultConfig(50)
-	w.Accounts = 10000 // 1% hot set = 100 accounts (paper setup)
-	w.ContentionRatio = contention
-	w.NondetRatio = nondet
-	w.Seed = seed
-	return w
+func load(rate float64, window time.Duration) scenario.LoadSpec {
+	return scenario.LoadSpec{Rate: rate, Window: scenario.Duration(window)}
 }
 
 // --- Figure 3: performance vs contention ratio ------------------------------
@@ -60,44 +59,41 @@ func init() {
 		Paper: "Figure 3",
 		Description: "Throughput, latency, and abort rate vs contention ratio " +
 			"(0-50%) for BIDL, FastFabric, and HLF; 4 consensus nodes, 50 normal nodes.",
-		Run: runFig3,
+		Scenarios: fig3Scenarios,
+		Table:     fig3Table,
 	})
 }
 
-func runFig3(o Options) *Table {
+var fig3Ratios = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+func fig3Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1200 * time.Millisecond)
+	var specs []scenario.Scenario
+	for _, cr := range fig3Ratios {
+		for _, fw := range []struct {
+			name string
+			rate float64
+		}{
+			{scenario.FrameworkBIDL, satBIDL},
+			{scenario.FrameworkFastFabric, satFF},
+			{scenario.FrameworkHLF, satHLF},
+		} {
+			sp := spec(fw.name, fmt.Sprintf("%s, contention %.0f%%", fw.name, cr*100), o, cr, 0)
+			sp.Load = load(o.rate(fw.rate), window)
+			specs = append(specs, sp)
+		}
+	}
+	return specs
+}
+
+func fig3Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:    "fig3",
 		Title: "Performance under contention (setting A)",
 		Columns: []string{"contention", "bidl_ktps", "bidl_ms", "bidl_abort",
 			"ff_ktps", "ff_ms", "ff_abort", "hlf_ktps", "hlf_ms", "hlf_abort"},
 	}
-	window := o.scaled(1200 * time.Millisecond)
-	ratios := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
-	var tasks []func() Result
-	for _, cr := range ratios {
-		cr := cr
-		tasks = append(tasks,
-			func() Result {
-				o.logf("fig3: bidl, contention %.0f%%", cr*100)
-				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-					Rate: o.rate(satBIDL), Window: window}.run(o)
-				return r
-			},
-			func() Result {
-				o.logf("fig3: fastfabric, contention %.0f%%", cr*100)
-				r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-					Rate: o.rate(satFF), Window: window}.run(o)
-				return r
-			},
-			func() Result {
-				o.logf("fig3: hlf, contention %.0f%%", cr*100)
-				r, _ := fabricRun{Cfg: settingAFabric(fabric.HLF, o.Seed), Workload: stdWorkload(cr, 0, o.Seed),
-					Rate: o.rate(satHLF), Window: window}.run(o)
-				return r
-			})
-	}
-	res := gather(o, tasks)
-	for i, cr := range ratios {
+	for i, cr := range fig3Ratios {
 		b, f, h := res[3*i], res[3*i+1], res[3*i+2]
 		t.AddRow(pct(cr),
 			ktps(b.Throughput), ms(b.AvgLatency), pct(b.AbortRate),
@@ -117,52 +113,49 @@ func init() {
 		Paper: "Figure 5",
 		Description: "Throughput vs latency curves in the fault-free case for " +
 			"BIDL, FastFabric, and StreamChain (offered-load sweep).",
-		Run: runFig5,
+		Scenarios: fig5Scenarios,
+		Table:     fig5Table,
 	})
 }
 
-func runFig5(o Options) *Table {
-	t := &Table{
-		ID:      "fig5",
-		Title:   "Throughput vs latency (fault-free, setting A)",
-		Columns: []string{"framework", "offered_ktps", "achieved_ktps", "avg_ms", "p99_ms"},
-	}
-	window := o.scaled(1200 * time.Millisecond)
-	type point struct {
-		name string
-		rate float64
-	}
-	var points []point
+type fig5Point struct {
+	name string
+	rate float64
+}
+
+func fig5Points() []fig5Point {
+	var points []fig5Point
 	addSweep := func(name string, rates []float64) {
 		for _, r := range rates {
-			points = append(points, point{name, r})
+			points = append(points, fig5Point{name, r})
 		}
 	}
 	addSweep("bidl", []float64{5000, 10000, 20000, 30000, 40000, 44000})
 	addSweep("fastfabric", []float64{5000, 10000, 20000, 26000, 30000})
 	addSweep("streamchain", []float64{500, 1000, 2000, 3000, 3500})
-	tasks := make([]func() Result, len(points))
+	return points
+}
+
+func fig5Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1200 * time.Millisecond)
+	points := fig5Points()
+	specs := make([]scenario.Scenario, len(points))
 	for i, p := range points {
-		p := p
-		tasks[i] = func() Result {
-			o.logf("fig5: %s at %.0f txns/s", p.name, o.rate(p.rate))
-			if p.name == "bidl" {
-				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed),
-					Rate: o.rate(p.rate), Window: window}.run(o)
-				return r
-			}
-			v := fabric.FastFabric
-			if p.name == "streamchain" {
-				v = fabric.StreamChain
-			}
-			r, _ := fabricRun{Cfg: settingAFabric(v, o.Seed), Workload: stdWorkload(0, 0, o.Seed),
-				Rate: o.rate(p.rate), Window: window}.run(o)
-			return r
-		}
+		sp := spec(p.name, fmt.Sprintf("%s at %.0f txns/s", p.name, o.rate(p.rate)), o, 0, 0)
+		sp.Load = load(o.rate(p.rate), window)
+		specs[i] = sp
 	}
-	for i, res := range gather(o, tasks) {
-		p := points[i]
-		t.AddRow(p.name, ktps(o.rate(p.rate)), ktps(res.Throughput), ms(res.AvgLatency), ms(res.P99))
+	return specs
+}
+
+func fig5Table(o Options, res []Result) *Table {
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Throughput vs latency (fault-free, setting A)",
+		Columns: []string{"framework", "offered_ktps", "achieved_ktps", "avg_ms", "p99_ms"},
+	}
+	for i, p := range fig5Points() {
+		t.AddRow(p.name, ktps(o.rate(p.rate)), ktps(res[i].Throughput), ms(res[i].AvgLatency), ms(res[i].P99))
 	}
 	t.Notes = append(t.Notes,
 		"paper: StreamChain lowest latency at low throughput; BIDL dominates both throughput and latency at scale")
@@ -177,37 +170,38 @@ func init() {
 		Paper: "Figure 6",
 		Description: "BIDL latency with four BFT protocols (BFT-SMaRt, Zyzzyva, " +
 			"SBFT, HotStuff) as organizations scale 4..97 (setting B: 1 CN + 1 NN per org).",
-		Run: runFig6,
+		Scenarios: fig6Scenarios,
+		Table:     fig6Table,
 	})
 }
 
 var fig6Orgs = []int{4, 7, 13, 25, 49, 97}
 
-var fig6Protos = []string{core.ProtoPBFT, core.ProtoZyzzyva, core.ProtoSBFT, core.ProtoHotStuff}
+// fig6Protos must match core's protocol names (bft-smart, zyzzyva, sbft,
+// hotstuff) in table-column order.
+var fig6Protos = []string{"bft-smart", "zyzzyva", "sbft", "hotstuff"}
 
-func runFig6(o Options) *Table {
+func fig6Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1 * time.Second)
+	var specs []scenario.Scenario
+	for _, orgs := range fig6Orgs {
+		for _, proto := range fig6Protos {
+			sp := spec(scenario.FrameworkBIDL, fmt.Sprintf("%s with %d orgs", proto, orgs), o, 0, 0)
+			sp.Protocol = proto
+			sp.Nodes = settingB(orgs, 1)
+			sp.Load = load(o.rate(20000), window)
+			specs = append(specs, sp)
+		}
+	}
+	return specs
+}
+
+func fig6Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "fig6",
 		Title:   "BIDL latency vs #organizations per BFT protocol (ms)",
 		Columns: []string{"orgs", "bft-smart", "zyzzyva", "sbft", "hotstuff"},
 	}
-	window := o.scaled(1 * time.Second)
-	var tasks []func() Result
-	for _, orgs := range fig6Orgs {
-		for _, proto := range fig6Protos {
-			orgs, proto := orgs, proto
-			tasks = append(tasks, func() Result {
-				o.logf("fig6: %s with %d orgs", proto, orgs)
-				cfg := settingB(orgs, 1, o.Seed)
-				cfg.Protocol = proto
-				w := stdWorkload(0, 0, o.Seed)
-				w.NumOrgs = orgs
-				res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(20000), Window: window}.run(o)
-				return res
-			})
-		}
-	}
-	res := gather(o, tasks)
 	for i, orgs := range fig6Orgs {
 		row := []string{fmt.Sprintf("%d", orgs)}
 		for j := range fig6Protos {
@@ -220,20 +214,6 @@ func runFig6(o Options) *Table {
 	return t
 }
 
-// settingB builds the scalability setting: one consensus node per org.
-func settingB(orgs, nnPerOrg int, seed int64) core.Config {
-	cfg := core.DefaultConfig()
-	cfg.Seed = seed
-	cfg.NumOrgs = orgs
-	cfg.NormalPerOrg = nnPerOrg
-	cfg.NumConsensus = orgs
-	cfg.F = (orgs - 1) / 3
-	if cfg.F < 1 {
-		cfg.F = 1
-	}
-	return cfg
-}
-
 // --- Tables 2 and 3: latency breakdowns -------------------------------------
 
 func init() {
@@ -242,86 +222,79 @@ func init() {
 		Paper: "Table 2",
 		Description: "FastFabric-SMaRt end-to-end latency breakdown " +
 			"(endorse/consensus/validate) vs #organizations.",
-		Run: runTable2,
+		Scenarios: table2Scenarios,
+		Table:     table2Table,
 	})
 	register(Experiment{
 		ID:    "table3",
 		Paper: "Table 3",
 		Description: "BIDL-SMaRt end-to-end latency breakdown " +
 			"(consensus/ver&exec/persist/commit) vs #organizations.",
-		Run: runTable3,
+		Scenarios: table3Scenarios,
+		Table:     table3Table,
 	})
 }
 
-func runTable2(o Options) *Table {
+func table2Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1 * time.Second)
+	specs := make([]scenario.Scenario, len(fig6Orgs))
+	for i, orgs := range fig6Orgs {
+		sp := spec(scenario.FrameworkFastFabric, fmt.Sprintf("%d orgs", orgs), o, 0, 0)
+		sp.Protocol = "bft-smart" // the paper's modified FastFabric-SMaRt
+		sp.Nodes = settingB(orgs, 1)
+		sp.Load = load(o.rate(15000), window)
+		specs[i] = sp
+	}
+	return specs
+}
+
+func table2Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "table2",
 		Title:   "FastFabric-SMaRt latency breakdown (ms)",
 		Columns: []string{"orgs", "P1_endorse", "P2_consensus", "P3_validate", "end_to_end"},
 	}
-	window := o.scaled(1 * time.Second)
-	tasks := make([]func() []string, len(fig6Orgs))
 	for i, orgs := range fig6Orgs {
-		orgs := orgs
-		tasks[i] = func() []string {
-			o.logf("table2: %d orgs", orgs)
-			cfg := settingAFabric(fabric.FastFabric, o.Seed)
-			cfg.Protocol = "bft-smart" // the paper's modified FastFabric-SMaRt
-			cfg.NumOrgs = orgs
-			cfg.NumOrderers = orgs
-			cfg.F = (orgs - 1) / 3
-			if cfg.F < 1 {
-				cfg.F = 1
-			}
-			cfg.PeersPerOrg = 1
-			w := stdWorkload(0, 0, o.Seed)
-			w.NumOrgs = orgs
-			res, _ := fabricRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run(o)
-			endorse := res.Collector.PhaseAvg("endorse")
-			cons := res.Collector.PhaseAvg("consensus")
-			validate := res.Collector.PhaseAvg("validate")
-			return []string{fmt.Sprintf("%d", orgs), ms(endorse), ms(cons), ms(validate), ms(endorse + cons + validate)}
-		}
-	}
-	for _, row := range gather(o, tasks) {
-		t.AddRow(row...)
+		endorse := res[i].Collector.PhaseAvg("endorse")
+		cons := res[i].Collector.PhaseAvg("consensus")
+		validate := res[i].Collector.PhaseAvg("validate")
+		t.AddRow(fmt.Sprintf("%d", orgs), ms(endorse), ms(cons), ms(validate), ms(endorse+cons+validate))
 	}
 	t.Notes = append(t.Notes,
 		"paper (4→97 orgs): endorse 9.2→6.5, consensus 10.4→16.2, validate 51.5→6.9, e2e 71.0→29.6")
 	return t
 }
 
-func runTable3(o Options) *Table {
+func table3Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1 * time.Second)
+	specs := make([]scenario.Scenario, len(fig6Orgs))
+	for i, orgs := range fig6Orgs {
+		sp := spec(scenario.FrameworkBIDL, fmt.Sprintf("%d orgs", orgs), o, 0, 0)
+		sp.Nodes = settingB(orgs, 1)
+		sp.Load = load(o.rate(15000), window)
+		specs[i] = sp
+	}
+	return specs
+}
+
+func table3Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "table3",
 		Title:   "BIDL-SMaRt latency breakdown (ms)",
 		Columns: []string{"orgs", "P1_consensus", "P2_ver_exec", "P3_persist", "P4_execution", "P5_commit", "end_to_end"},
 	}
-	window := o.scaled(1 * time.Second)
-	tasks := make([]func() []string, len(fig6Orgs))
 	for i, orgs := range fig6Orgs {
-		orgs := orgs
-		tasks[i] = func() []string {
-			o.logf("table3: %d orgs", orgs)
-			cfg := settingB(orgs, 1, o.Seed)
-			w := stdWorkload(0, 0, o.Seed)
-			w.NumOrgs = orgs
-			res, _ := bidlRun{Cfg: cfg, Workload: w, Rate: o.rate(15000), Window: window}.run(o)
-			cons := res.Collector.PhaseAvg("consensus")
-			verexec := res.Collector.PhaseAvg("verexec")
-			persist := res.Collector.PhaseAvg("persist")
-			commit := res.Collector.PhaseAvg("commit")
-			exec := verexec + persist
-			e2e := cons
-			if exec > e2e {
-				e2e = exec
-			}
-			e2e += commit
-			return []string{fmt.Sprintf("%d", orgs), ms(cons), ms(verexec), ms(persist), ms(exec), ms(commit), ms(e2e)}
+		cons := res[i].Collector.PhaseAvg("consensus")
+		verexec := res[i].Collector.PhaseAvg("verexec")
+		persist := res[i].Collector.PhaseAvg("persist")
+		commit := res[i].Collector.PhaseAvg("commit")
+		exec := verexec + persist
+		e2e := cons
+		if exec > e2e {
+			e2e = exec
 		}
-	}
-	for _, row := range gather(o, tasks) {
-		t.AddRow(row...)
+		e2e += commit
+		t.AddRow(fmt.Sprintf("%d", orgs), ms(cons), ms(verexec), ms(persist), ms(exec), ms(commit), ms(e2e))
 	}
 	t.Notes = append(t.Notes,
 		"paper (4→97 orgs): consensus 10.3→16.4, ver&exec 59.3→7.6, persist 0.5→2.1, commit ~2.7, e2e = max(P1,P4)+P5 62.5→19.3")
@@ -337,56 +310,46 @@ func init() {
 		Description: "Effective throughput under S1 (fault-free), S2 (malicious " +
 			"leader proposing invalid transactions), S3 (malicious broadcaster) " +
 			"for StreamChain, HLF, FastFabric, BIDL without denylist, and BIDL.",
-		Run: runTable4,
+		Scenarios: table4Scenarios,
+		Table:     table4Table,
 	})
 }
 
-func runTable4(o Options) *Table {
+func table4Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(2 * time.Second)
+	warm := window / 2 // measure after the system stabilizes post-attack
+
+	point := func(framework, label string, rate float64, attackSpec scenario.AttackSpec, noDenylist bool) scenario.Scenario {
+		sp := spec(framework, label, o, 0, 0)
+		sp.Load = load(o.rate(rate), window)
+		sp.Load.Warmup = scenario.Duration(warm)
+		sp.Attack = attackSpec
+		sp.Tuning.DisableDenylist = noDenylist
+		return sp
+	}
+	leader := scenario.AttackSpec{Kind: scenario.AttackLeader}
+	bcast := scenario.AttackSpec{Kind: scenario.AttackBroadcaster, Start: scenario.Duration(100 * time.Millisecond)}
+
+	return []scenario.Scenario{
+		point(scenario.FrameworkStreamChain, "streamchain S1", satStream, scenario.AttackSpec{}, false),
+		point(scenario.FrameworkHLF, "hlf S1", satHLF, scenario.AttackSpec{}, false),
+		point(scenario.FrameworkHLF, "hlf S2", satHLF, leader, false),
+		point(scenario.FrameworkFastFabric, "fastfabric S1", satFF, scenario.AttackSpec{}, false),
+		point(scenario.FrameworkBIDL, "bidl-no-denylist S1", satBIDL, scenario.AttackSpec{}, true),
+		point(scenario.FrameworkBIDL, "bidl-no-denylist S2", satBIDL, leader, true),
+		point(scenario.FrameworkBIDL, "bidl-no-denylist S3", satBIDL, bcast, true),
+		point(scenario.FrameworkBIDL, "bidl S1", satBIDL, scenario.AttackSpec{}, false),
+		point(scenario.FrameworkBIDL, "bidl S2", satBIDL, leader, false),
+		point(scenario.FrameworkBIDL, "bidl S3", satBIDL, bcast, false),
+	}
+}
+
+func table4Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "table4",
 		Title:   "Effective throughput under malicious participants (ktxns/s)",
 		Columns: []string{"framework", "S1_fault_free", "S2_malicious_leader", "S3_malicious_broadcaster"},
 	}
-	window := o.scaled(2 * time.Second)
-	warm := window / 2 // measure after the system stabilizes post-attack
-	wl := stdWorkload(0, 0, o.Seed)
-
-	fab := func(label string, v fabric.Variant, rate float64, mut func(*fabric.Cluster, *workload.Generator)) func() Result {
-		return func() Result {
-			o.logf("table4: %s", label)
-			r, _ := fabricRun{Cfg: settingAFabric(v, o.Seed), Workload: wl,
-				Rate: o.rate(rate), Window: window, Warmup: warm, Mutate: mut}.run(o)
-			return r
-		}
-	}
-	bidl := func(label string, cfg core.Config, mut func(*core.Cluster, *workload.Generator)) func() Result {
-		return func() Result {
-			o.logf("table4: %s", label)
-			r, _ := bidlRun{Cfg: cfg, Workload: wl, Rate: o.rate(satBIDL),
-				Window: window, Warmup: warm, Mutate: mut}.run(o)
-			return r
-		}
-	}
-	malLeader := func(c *core.Cluster, _ *workload.Generator) {
-		attack.EnableMaliciousLeader(c, c.LeaderIndex())
-	}
-	noDeny := settingA(o.Seed)
-	noDeny.DisableDenylist = true
-
-	res := gather(o, []func() Result{
-		fab("streamchain S1", fabric.StreamChain, satStream, nil),
-		fab("hlf S1", fabric.HLF, satHLF, nil),
-		fab("hlf S2", fabric.HLF, satHLF, func(c *fabric.Cluster, _ *workload.Generator) {
-			c.Orderers[c.LeaderIndex()].ProposeGarbage = true
-		}),
-		fab("fastfabric S1", fabric.FastFabric, satFF, nil),
-		bidl("bidl-no-denylist S1", noDeny, nil),
-		bidl("bidl-no-denylist S2", noDeny, malLeader),
-		bidl("bidl-no-denylist S3", noDeny, broadcastAttack(100*time.Millisecond, -1)),
-		bidl("bidl S1", settingA(o.Seed), nil),
-		bidl("bidl S2", settingA(o.Seed), malLeader),
-		bidl("bidl S3", settingA(o.Seed), broadcastAttack(100*time.Millisecond, -1)),
-	})
 	sc, h1, h2, ff := res[0], res[1], res[2], res[3]
 	bn1, bn2, bn3 := res[4], res[5], res[6]
 	b1, b2, b3 := res[7], res[8], res[9]
@@ -414,11 +377,24 @@ func init() {
 		Paper: "Figure 7",
 		Description: "Real-time BIDL throughput while a smart adversary attacks " +
 			"only one correct node's views: dip, view changes, denylist, recovery.",
-		Run: runFig7,
+		Scenarios: fig7Scenarios,
+		Table:     fig7Table,
 	})
 }
 
-func runFig7(o Options) *Table {
+func fig7Scenarios(o Options) []scenario.Scenario {
+	horizon := o.scaled(6 * time.Second)
+	attackAt := horizon / 6
+	rate := o.rate(satBIDL * 3 / 4)
+	// A single timeline run: nothing to fan out.
+	sp := spec(scenario.FrameworkBIDL, fmt.Sprintf("%.0f txns/s, attack at %v", rate, attackAt), o, 0, 0)
+	sp.Load = load(rate, horizon)
+	sp.Load.Warmup = scenario.Duration(time.Millisecond)
+	sp.Attack = scenario.AttackSpec{Kind: scenario.AttackSmart, Start: scenario.Duration(attackAt)}
+	return []scenario.Scenario{sp}
+}
+
+func fig7Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "fig7",
 		Title:   "BIDL throughput timeline under the smart adversary",
@@ -426,26 +402,14 @@ func runFig7(o Options) *Table {
 	}
 	horizon := o.scaled(6 * time.Second)
 	attackAt := horizon / 6
-	rate := o.rate(satBIDL * 3 / 4)
-	o.logf("fig7: %.0f txns/s, attack at %v", rate, attackAt)
-	// A single timeline run: nothing to fan out.
-	res, c := bidlRun{Cfg: settingA(o.Seed), Workload: stdWorkload(0, 0, o.Seed),
-		Rate: rate, Window: horizon, Warmup: time.Millisecond,
-		Mutate: func(cl *core.Cluster, gen *workload.Generator) {
-			cfg := attack.DefaultBroadcasterConfig()
-			cfg.TargetLeader = cl.LeaderIndex()
-			b := attack.NewBroadcaster(cl, gen, cfg)
-			b.Start(attackAt)
-		}}.run(o)
 	width := horizon / 30
-	for i, v := range res.Collector.Timeline(width, horizon) {
+	for i, v := range res[0].Collector.Timeline(width, horizon) {
 		t.AddRow(fmt.Sprintf("%.2f", (time.Duration(i)*width).Seconds()), ktps(v))
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("attack starts at %.2fs; view changes observed: %d; clients denied: %d",
-			attackAt.Seconds(), res.Collector.ViewChanges, res.Collector.DeniedClients),
+			attackAt.Seconds(), res[0].Collector.ViewChanges, res[0].Collector.DeniedClients),
 		"paper: throughput dips on attack, view changes rotate the leader, the denylist restores peak throughput")
-	_ = c
 	return t
 }
 
@@ -457,53 +421,53 @@ func init() {
 		Paper: "Figure 8",
 		Description: "Effective throughput of BIDL vs FastFabric under increasing " +
 			"non-determinism ratio and increasing contention ratio.",
-		Run: runFig8,
+		Scenarios: fig8Scenarios,
+		Table:     fig8Table,
 	})
 }
 
-func runFig8(o Options) *Table {
+type fig8Point struct {
+	mode  string
+	ratio float64
+}
+
+func fig8Points() []fig8Point {
+	var points []fig8Point
+	for _, nd := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		points = append(points, fig8Point{"nondet", nd})
+	}
+	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		points = append(points, fig8Point{"contention", cr})
+	}
+	return points
+}
+
+func fig8Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1200 * time.Millisecond)
+	var specs []scenario.Scenario
+	for _, p := range fig8Points() {
+		cr, nd := 0.0, 0.0
+		if p.mode == "nondet" {
+			nd = p.ratio
+		} else {
+			cr = p.ratio
+		}
+		b := spec(scenario.FrameworkBIDL, fmt.Sprintf("bidl, %s %.0f%%", p.mode, p.ratio*100), o, cr, nd)
+		b.Load = load(o.rate(satBIDL), window)
+		f := spec(scenario.FrameworkFastFabric, fmt.Sprintf("fastfabric, %s %.0f%%", p.mode, p.ratio*100), o, cr, nd)
+		f.Load = load(o.rate(satFF), window)
+		specs = append(specs, b, f)
+	}
+	return specs
+}
+
+func fig8Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "fig8",
 		Title:   "Robustness to non-deterministic and contended workloads (ktxns/s)",
 		Columns: []string{"workload", "param", "bidl_ktps", "bidl_abort", "ff_ktps", "ff_abort"},
 	}
-	window := o.scaled(1200 * time.Millisecond)
-	type point struct {
-		mode  string
-		ratio float64
-	}
-	var points []point
-	for _, nd := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		points = append(points, point{"nondet", nd})
-	}
-	for _, cr := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
-		points = append(points, point{"contention", cr})
-	}
-	var tasks []func() Result
-	for _, p := range points {
-		p := p
-		mkWl := func() workload.Config {
-			if p.mode == "nondet" {
-				return stdWorkload(0, p.ratio, o.Seed)
-			}
-			return stdWorkload(p.ratio, 0, o.Seed)
-		}
-		tasks = append(tasks,
-			func() Result {
-				o.logf("fig8: bidl, %s %.0f%%", p.mode, p.ratio*100)
-				r, _ := bidlRun{Cfg: settingA(o.Seed), Workload: mkWl(),
-					Rate: o.rate(satBIDL), Window: window}.run(o)
-				return r
-			},
-			func() Result {
-				o.logf("fig8: fastfabric, %s %.0f%%", p.mode, p.ratio*100)
-				r, _ := fabricRun{Cfg: settingAFabric(fabric.FastFabric, o.Seed), Workload: mkWl(),
-					Rate: o.rate(satFF), Window: window}.run(o)
-				return r
-			})
-	}
-	res := gather(o, tasks)
-	for i, p := range points {
+	for i, p := range fig8Points() {
 		b, f := res[2*i], res[2*i+1]
 		t.AddRow(p.mode, pct(p.ratio), ktps(b.Throughput), pct(b.AbortRate), ktps(f.Throughput), pct(f.AbortRate))
 	}
@@ -520,46 +484,41 @@ func init() {
 		Paper: "Figure 9",
 		Description: "BIDL vs BIDL-opt-disabled (no IP multicast, no consensus-on-hash) " +
 			"across 4 datacenters with shrinking inter-DC bandwidth.",
-		Run: runFig9,
+		Scenarios: fig9Scenarios,
+		Table:     fig9Table,
 	})
 }
 
-func runFig9(o Options) *Table {
+var fig9Bands = []float64{10, 5, 2, 1, 0.5}
+
+func fig9Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1200 * time.Millisecond)
+	var specs []scenario.Scenario
+	for _, gbps := range fig9Bands {
+		for _, optDisabled := range []bool{false, true} {
+			sp := spec(scenario.FrameworkBIDL,
+				fmt.Sprintf("%.1f Gbps inter-DC (opt_disabled=%v)", gbps, optDisabled), o, 0, 0)
+			sp.Nodes.Datacenters = 4
+			sp.Topology.InterDCGbps = gbps
+			sp.Topology.InterLatency = scenario.Duration(10 * time.Millisecond) // 20ms RTT (§6.4)
+			sp.Tuning.ViewTimeout = scenario.Duration(400 * time.Millisecond)
+			sp.Tuning.BlockTimeout = scenario.Duration(25 * time.Millisecond)
+			sp.Tuning.DisableMulticast = optDisabled
+			sp.Tuning.ConsensusOnPayload = optDisabled
+			sp.Load = load(o.rate(satBIDL/2), window)
+			specs = append(specs, sp)
+		}
+	}
+	return specs
+}
+
+func fig9Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "fig9",
 		Title:   "Throughput over 4 datacenters vs inter-DC bandwidth (ktxns/s)",
 		Columns: []string{"bandwidth_gbps", "bidl", "bidl_opt_disabled"},
 	}
-	window := o.scaled(1200 * time.Millisecond)
-	bands := []float64{10, 5, 2, 1, 0.5}
-	var tasks []func() Result
-	for _, gbps := range bands {
-		gbps := gbps
-		mk := func(optDisabled bool) core.Config {
-			cfg := settingA(o.Seed)
-			cfg.NumDCs = 4
-			cfg.Topology = simnet.MultiDCTopology(int64(gbps * float64(simnet.Gbps)))
-			cfg.Topology.InterLatency = 10 * time.Millisecond // 20ms RTT (§6.4)
-			cfg.ViewTimeout = 400 * time.Millisecond
-			cfg.BlockTimeout = 25 * time.Millisecond
-			if optDisabled {
-				cfg.DisableMulticast = true
-				cfg.ConsensusOnPayload = true
-			}
-			return cfg
-		}
-		for _, optDisabled := range []bool{false, true} {
-			optDisabled := optDisabled
-			tasks = append(tasks, func() Result {
-				o.logf("fig9: %.1f Gbps inter-DC (opt_disabled=%v)", gbps, optDisabled)
-				r, _ := bidlRun{Cfg: mk(optDisabled), Workload: stdWorkload(0, 0, o.Seed),
-					Rate: o.rate(satBIDL / 2), Window: window}.run(o)
-				return r
-			})
-		}
-	}
-	res := gather(o, tasks)
-	for i, gbps := range bands {
+	for i, gbps := range fig9Bands {
 		t.AddRow(fmt.Sprintf("%.1f", gbps), ktps(res[2*i].Throughput), ktps(res[2*i+1].Throughput))
 	}
 	t.Notes = append(t.Notes,
@@ -575,41 +534,35 @@ func init() {
 		Paper: "Figure 10",
 		Description: "BIDL vs FastFabric effective throughput under increasing " +
 			"packet-loss rates.",
-		Run: runFig10,
+		Scenarios: fig10Scenarios,
+		Table:     fig10Table,
 	})
 }
 
-func runFig10(o Options) *Table {
+var fig10Losses = []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08}
+
+func fig10Scenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1500 * time.Millisecond)
+	var specs []scenario.Scenario
+	for _, loss := range fig10Losses {
+		b := spec(scenario.FrameworkBIDL, fmt.Sprintf("bidl, %.1f%% loss", loss*100), o, 0, 0)
+		b.Topology.LossRate = loss
+		b.Load = load(o.rate(satBIDL*3/4), window)
+		f := spec(scenario.FrameworkFastFabric, fmt.Sprintf("fastfabric, %.1f%% loss", loss*100), o, 0, 0)
+		f.Topology.LossRate = loss
+		f.Load = load(o.rate(satFF*3/4), window)
+		specs = append(specs, b, f)
+	}
+	return specs
+}
+
+func fig10Table(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "fig10",
 		Title:   "Throughput vs packet-loss rate (ktxns/s)",
 		Columns: []string{"loss", "bidl", "fastfabric"},
 	}
-	window := o.scaled(1500 * time.Millisecond)
-	losses := []float64{0, 0.005, 0.01, 0.02, 0.04, 0.08}
-	var tasks []func() Result
-	for _, loss := range losses {
-		loss := loss
-		tasks = append(tasks,
-			func() Result {
-				o.logf("fig10: bidl, %.1f%% loss", loss*100)
-				cfg := settingA(o.Seed)
-				cfg.Topology.LossRate = loss
-				r, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0, 0, o.Seed),
-					Rate: o.rate(satBIDL * 3 / 4), Window: window}.run(o)
-				return r
-			},
-			func() Result {
-				o.logf("fig10: fastfabric, %.1f%% loss", loss*100)
-				fcfg := settingAFabric(fabric.FastFabric, o.Seed)
-				fcfg.Topology.LossRate = loss
-				r, _ := fabricRun{Cfg: fcfg, Workload: stdWorkload(0, 0, o.Seed),
-					Rate: o.rate(satFF * 3 / 4), Window: window}.run(o)
-				return r
-			})
-	}
-	res := gather(o, tasks)
-	for i, loss := range losses {
+	for i, loss := range fig10Losses {
 		t.AddRow(pct(loss), ktps(res[2*i].Throughput), ktps(res[2*i+1].Throughput))
 	}
 	t.Notes = append(t.Notes,
@@ -625,41 +578,45 @@ func init() {
 		Paper: "Design ablations (extension)",
 		Description: "BIDL design-choice ablations: parallel vs sequential workflow, " +
 			"IP multicast, consensus-on-hash.",
-		Run: runAblation,
+		Scenarios: ablationScenarios,
+		Table:     ablationTable,
 	})
 }
 
-func runAblation(o Options) *Table {
+type ablationVariant struct {
+	name string
+	mut  func(*scenario.TuningSpec)
+}
+
+func ablationVariants() []ablationVariant {
+	return []ablationVariant{
+		{"bidl-full", func(*scenario.TuningSpec) {}},
+		{"no-speculation", func(t *scenario.TuningSpec) { t.DisableSpeculation = true }},
+		{"no-multicast", func(t *scenario.TuningSpec) { t.DisableMulticast = true }},
+		{"consensus-on-payload", func(t *scenario.TuningSpec) { t.ConsensusOnPayload = true }},
+	}
+}
+
+func ablationScenarios(o Options) []scenario.Scenario {
+	window := o.scaled(1200 * time.Millisecond)
+	variants := ablationVariants()
+	specs := make([]scenario.Scenario, len(variants))
+	for i, v := range variants {
+		sp := spec(scenario.FrameworkBIDL, v.name, o, 0.2, 0)
+		v.mut(&sp.Tuning)
+		sp.Load = load(o.rate(satBIDL*3/4), window)
+		specs[i] = sp
+	}
+	return specs
+}
+
+func ablationTable(o Options, res []Result) *Table {
 	t := &Table{
 		ID:      "ablation",
 		Title:   "BIDL ablations (setting A)",
 		Columns: []string{"variant", "ktps", "avg_ms", "p99_ms", "spec_success"},
 	}
-	window := o.scaled(1200 * time.Millisecond)
-	type variant struct {
-		name string
-		mut  func(*core.Config)
-	}
-	variants := []variant{
-		{"bidl-full", func(*core.Config) {}},
-		{"no-speculation", func(c *core.Config) { c.DisableSpeculation = true }},
-		{"no-multicast", func(c *core.Config) { c.DisableMulticast = true }},
-		{"consensus-on-payload", func(c *core.Config) { c.ConsensusOnPayload = true }},
-	}
-	tasks := make([]func() Result, len(variants))
-	for i, v := range variants {
-		v := v
-		tasks[i] = func() Result {
-			o.logf("ablation: %s", v.name)
-			cfg := settingA(o.Seed)
-			v.mut(&cfg)
-			res, _ := bidlRun{Cfg: cfg, Workload: stdWorkload(0.2, 0, o.Seed),
-				Rate: o.rate(satBIDL * 3 / 4), Window: window}.run(o)
-			return res
-		}
-	}
-	res := gather(o, tasks)
-	for i, v := range variants {
+	for i, v := range ablationVariants() {
 		t.AddRow(v.name, ktps(res[i].Throughput), ms(res[i].AvgLatency), ms(res[i].P99), pct(res[i].SpecSuccess))
 	}
 	t.Notes = append(t.Notes,

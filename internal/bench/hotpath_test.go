@@ -17,9 +17,10 @@ import (
 // transaction fans out into. `make ci` runs this with -benchtime=1x as a
 // smoke test, which also asserts that every submitted transaction commits.
 func BenchmarkPipelineHotPath(b *testing.B) {
-	cfg := settingA(1)
-	w := stdWorkload(0, 0, 1)
-	w.NumOrgs = cfg.NumOrgs
+	cfg := core.DefaultConfig() // the paper's setting A
+	cfg.Seed = 1
+	w := workload.DefaultConfig(cfg.NumOrgs)
+	w.Seed = 1
 	w.Accounts = 2000 // lighter prepopulation; per-txn pipeline cost is unaffected
 
 	c := core.NewCluster(cfg)

@@ -6,6 +6,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/bidl-framework/bidl/internal/core"
+	"github.com/bidl-framework/bidl/internal/scenario"
 )
 
 // TestGatherPreservesTaskOrder checks the worker pool's core contract:
@@ -84,7 +87,10 @@ func renderExperiment(id string, o Options) ([]byte, error) {
 		return nil, errUnknown(id)
 	}
 	var buf bytes.Buffer
-	table := e.Run(o)
+	table, err := e.Run(o)
+	if err != nil {
+		return nil, err
+	}
 	table.Render(&buf)
 	table.CSV(&buf)
 	return buf.Bytes(), nil
@@ -99,14 +105,21 @@ func (e errUnknown) Error() string { return "unknown experiment " + string(e) }
 // of events and commit the same block sequence (chained ledger digest).
 func TestSameSeedRunsAreIdentical(t *testing.T) {
 	run := func() (uint64, int, [32]byte) {
-		r := bidlRun{
-			Cfg:      settingA(7),
-			Workload: stdWorkload(0.2, 0, 7),
-			Rate:     2000,
-			Window:   300 * time.Millisecond,
+		sp := scenario.Scenario{
+			Framework: scenario.FrameworkBIDL,
+			Seed:      7,
+			Workload:  scenario.WorkloadSpec{Accounts: 10000, Contention: 0.2},
+			Load:      scenario.LoadSpec{Rate: 2000, Window: scenario.Duration(300 * time.Millisecond)},
 		}
-		res, c := r.run(Options{})
-		return c.Sim.Events(), res.Collector.NumCommitted(), c.LedgerDigest()
+		var digest [32]byte
+		rc := scenario.RunConfig{Observe: func(h scenario.Harness) {
+			digest = h.(*core.Cluster).LedgerDigest()
+		}}
+		res, err := scenario.RunWith(sp, rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Events, res.Collector.NumCommitted(), digest
 	}
 	e1, n1, d1 := run()
 	e2, n2, d2 := run()

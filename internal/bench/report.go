@@ -66,7 +66,10 @@ func Measure(id string, o Options) (*Table, RunStats, error) {
 	var events atomic.Uint64
 	o.events = &events
 	start := time.Now()
-	table := e.Run(o)
+	table, err := e.Run(o)
+	if err != nil {
+		return nil, RunStats{}, err
+	}
 	wall := time.Since(start).Seconds()
 	s := RunStats{ID: id, WallSeconds: wall, VirtualEvents: events.Load()}
 	if wall > 0 {

@@ -1,185 +1,39 @@
 package bench
 
 import (
-	"math"
 	"time"
 
-	"github.com/bidl-framework/bidl/internal/attack"
-	"github.com/bidl-framework/bidl/internal/baseline/fabric"
-	"github.com/bidl-framework/bidl/internal/core"
-	"github.com/bidl-framework/bidl/internal/crypto"
-	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/scenario"
 	"github.com/bidl-framework/bidl/internal/trace"
-	"github.com/bidl-framework/bidl/internal/workload"
 )
 
-// Result summarizes one framework run.
-type Result struct {
-	Throughput  float64 // effective txns/s in the measurement window
-	AvgLatency  time.Duration
-	P50, P99    time.Duration
-	AbortRate   float64
-	SpecSuccess float64
-	Events      uint64 // virtual events executed by the run's simulator
-	Collector   *metrics.Collector
-	SafetyErr   error
-}
-
-// scheduleLoad submits rate txns/s over window onto a BIDL cluster.
-func scheduleLoadBIDL(c *core.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
-	return ScheduleTicks(rate, window, func(at time.Duration, n int) {
-		c.SubmitAt(at, gen.Batch(n)...)
-	})
-}
-
-// scheduleLoadFabric submits rate txns/s over window onto a fabric cluster.
-func scheduleLoadFabric(c *fabric.Cluster, gen *workload.Generator, rate float64, window time.Duration) int {
-	return ScheduleTicks(rate, window, func(at time.Duration, n int) {
-		c.SubmitAt(at, gen.Batch(n)...)
-	})
-}
+// Result summarizes one framework run (the scenario driver's result type;
+// re-exported so tables and callers keep their historical name).
+type Result = scenario.Result
 
 // ScheduleTicks drives fn once per millisecond with the txn count owed at
-// that tick, returning the total scheduled. The count owed is derived from
-// the rounded cumulative target rate*elapsed rather than a running float
-// accumulator, so rounding error never compounds: for any rate, the total
-// scheduled over window is exactly round(rate * window_seconds).
+// that tick, returning the total scheduled (see scenario.ScheduleTicks).
 func ScheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
-	tick := time.Millisecond
-	total := 0
-	for at := time.Duration(0); at < window; at += tick {
-		target := int(math.Round(rate * (at + tick).Seconds()))
-		if n := target - total; n > 0 {
-			fn(at, n)
-			total = target
-		}
-	}
-	return total
+	return scenario.ScheduleTicks(rate, window, fn)
 }
 
-// bidlRun executes a BIDL run and returns its result.
-type bidlRun struct {
-	Cfg      core.Config
-	Workload workload.Config
-	Rate     float64
-	Window   time.Duration // load window
-	Warmup   time.Duration
-	Drain    time.Duration
-	// Mutate, when non-nil, adjusts the cluster before the run (attacks).
-	Mutate func(*core.Cluster, *workload.Generator)
-}
-
-func (r bidlRun) run(o Options) (Result, *core.Cluster) {
-	if r.Warmup == 0 {
-		r.Warmup = r.Window / 5
+// runScenario executes one sweep point through the shared scenario driver,
+// wiring the harness-level accounting (virtual-event counter, trace sink)
+// around it. Spec validation errors surface as SafetyErr so a single bad
+// point cannot abort a whole gathered sweep.
+func runScenario(o Options, sp scenario.Scenario) Result {
+	var rc scenario.RunConfig
+	if o.TraceSink != nil {
+		rc.Tracer = trace.New(trace.Options{})
 	}
-	if r.Drain == 0 {
-		r.Drain = 500 * time.Millisecond
+	res, err := scenario.RunWith(sp, rc)
+	if err != nil {
+		res.SafetyErr = err
+		return res
 	}
-	if o.TraceSink != nil && r.Cfg.Tracer == nil {
-		r.Cfg.Tracer = trace.New(trace.Options{})
+	o.addEvents(res.Events)
+	if o.TraceSink != nil {
+		o.TraceSink(rc.Tracer)
 	}
-	c := core.NewCluster(r.Cfg)
-	r.Workload.NumOrgs = r.Cfg.NumOrgs
-	gen := workload.NewGenerator(r.Workload, c.Scheme)
-	ids := make([]crypto.Identity, r.Workload.NumClients)
-	for i := range ids {
-		ids[i] = gen.Client(i)
-	}
-	c.RegisterClients(ids)
-	c.Prepopulate(gen.Prepopulate)
-	if r.Mutate != nil {
-		r.Mutate(c, gen)
-	}
-	scheduleLoadBIDL(c, gen, r.Rate, r.Window)
-	c.Run(r.Window + r.Drain)
-	o.addEvents(c.Sim.Events())
-	if o.TraceSink != nil && r.Cfg.Tracer != nil {
-		o.TraceSink(r.Cfg.Tracer)
-	}
-	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
-	res.Events = c.Sim.Events()
-	return res, c
-}
-
-// fabricRun executes a baseline run and returns its result.
-type fabricRun struct {
-	Cfg      fabric.Config
-	Workload workload.Config
-	Rate     float64
-	Window   time.Duration
-	Warmup   time.Duration
-	Drain    time.Duration
-	Mutate   func(*fabric.Cluster, *workload.Generator)
-}
-
-func (r fabricRun) run(o Options) (Result, *fabric.Cluster) {
-	if r.Warmup == 0 {
-		r.Warmup = r.Window / 5
-	}
-	if r.Drain == 0 {
-		r.Drain = 500 * time.Millisecond
-	}
-	if o.TraceSink != nil && r.Cfg.Tracer == nil {
-		r.Cfg.Tracer = trace.New(trace.Options{})
-	}
-	c := fabric.NewCluster(r.Cfg)
-	r.Workload.NumOrgs = r.Cfg.NumOrgs
-	gen := workload.NewGenerator(r.Workload, c.Scheme)
-	ids := make([]crypto.Identity, r.Workload.NumClients)
-	for i := range ids {
-		ids[i] = gen.Client(i)
-	}
-	c.RegisterClients(ids)
-	c.Prepopulate(gen.Prepopulate)
-	if r.Mutate != nil {
-		r.Mutate(c, gen)
-	}
-	scheduleLoadFabric(c, gen, r.Rate, r.Window)
-	c.Run(r.Window + r.Drain)
-	o.addEvents(c.Sim.Events())
-	if o.TraceSink != nil && r.Cfg.Tracer != nil {
-		o.TraceSink(r.Cfg.Tracer)
-	}
-	res := summarize(c.Collector, r.Warmup, r.Window, c.CheckSafety())
-	res.Events = c.Sim.Events()
-	return res, c
-}
-
-func summarize(col *metrics.Collector, warmup, window time.Duration, safety error) Result {
-	return Result{
-		Throughput:  col.EffectiveThroughput(warmup, window),
-		AvgLatency:  col.AvgLatency(warmup, window),
-		P50:         col.PercentileLatency(0.5, warmup, window),
-		P99:         col.PercentileLatency(0.99, warmup, window),
-		AbortRate:   col.AbortRate(),
-		SpecSuccess: col.SpecSuccessRate(),
-		Collector:   col,
-		SafetyErr:   safety,
-	}
-}
-
-// newDebugCluster builds a loaded BIDL cluster for diagnostics.
-func newDebugCluster(cfg core.Config, w workload.Config, rate float64, window time.Duration) *core.Cluster {
-	c := core.NewCluster(cfg)
-	w.NumOrgs = cfg.NumOrgs
-	gen := workload.NewGenerator(w, c.Scheme)
-	ids := make([]crypto.Identity, w.NumClients)
-	for i := range ids {
-		ids[i] = gen.Client(i)
-	}
-	c.RegisterClients(ids)
-	c.Prepopulate(gen.Prepopulate)
-	scheduleLoadBIDL(c, gen, rate, window)
-	return c
-}
-
-// broadcastAttack wires the Table 4 S3 / Fig 7 broadcaster.
-func broadcastAttack(start time.Duration, target int) func(*core.Cluster, *workload.Generator) {
-	return func(c *core.Cluster, gen *workload.Generator) {
-		cfg := attack.DefaultBroadcasterConfig()
-		cfg.TargetLeader = target
-		b := attack.NewBroadcaster(c, gen, cfg)
-		b.Start(start)
-	}
+	return res
 }

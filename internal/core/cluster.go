@@ -250,40 +250,45 @@ func (c *Cluster) safetyViolation(msg string) {
 // CheckSafety validates the paper's safety guarantee across the whole
 // deployment: all correct nodes hold prefix-consistent ledgers, and normal
 // nodes within an organization that reached the same height hold identical
-// world states.
+// world states. The block-by-block comparison itself is shared with the
+// fabric baselines (ledger.CheckConsistency); this method only assembles
+// the views: consensus node 0 is the prefix reference, and each
+// organization forms one state-agreement group.
 func (c *Cluster) CheckSafety() error {
-	if len(c.violations) > 0 {
-		return fmt.Errorf("core: %d runtime safety violations, first: %s", len(c.violations), c.violations[0])
+	ledgers := make([]ledger.SafetyView, 0, len(c.ConsNodes)+c.Cfg.NumOrgs*c.Cfg.NormalPerOrg)
+	for i, cn := range c.ConsNodes {
+		ledgers = append(ledgers, ledger.SafetyView{
+			Label:  fmt.Sprintf("consensus node %d", i),
+			Blocks: cn.blocks,
+		})
 	}
-	// Ledger prefix consistency across consensus nodes.
-	for i := 1; i < len(c.ConsNodes); i++ {
-		if !c.ConsNodes[0].blocks.CommonPrefixEqual(c.ConsNodes[i].blocks) {
-			return fmt.Errorf("core: consensus nodes 0 and %d diverge", i)
-		}
-	}
-	// Ledger prefix consistency across normal nodes (against CN 0).
-	ref := c.ConsNodes[0].blocks
+	groups := make([][]ledger.SafetyView, 0, len(c.Orgs))
 	for o, org := range c.Orgs {
+		group := make([]ledger.SafetyView, 0, len(org))
 		for j, nn := range org {
-			if !ref.CommonPrefixEqual(nn.blocks) {
-				return fmt.Errorf("core: normal node %s/%d ledger diverges", orgName(o), j)
+			v := ledger.SafetyView{
+				Label:  fmt.Sprintf("normal node %s/%d", orgName(o), j),
+				Blocks: nn.blocks,
+				State:  nn.base,
+				Height: nn.commitHeight,
 			}
+			ledgers = append(ledgers, v)
+			group = append(group, v)
 		}
+		groups = append(groups, group)
 	}
-	// Intra-org state agreement at equal heights.
-	for o, org := range c.Orgs {
-		for j := 1; j < len(org); j++ {
-			if org[0].commitHeight != org[j].commitHeight {
-				continue
-			}
-			if !org[0].base.Equal(org[j].base) {
-				return fmt.Errorf("core: org %s nodes 0 and %d state diverge at height %d",
-					orgName(o), j, org[0].commitHeight)
-			}
-		}
-	}
-	return nil
+	return ledger.CheckConsistency("core", c.violations, ledgers, groups)
 }
+
+// Metrics returns the cluster's metrics collector (the scenario.Harness
+// accessor; the Collector field keeps its historical name).
+func (c *Cluster) Metrics() *metrics.Collector { return c.Collector }
+
+// IdentityScheme returns the membership crypto scheme clients register with.
+func (c *Cluster) IdentityScheme() crypto.Scheme { return c.Scheme }
+
+// VirtualEvents returns the number of discrete events executed so far.
+func (c *Cluster) VirtualEvents() uint64 { return c.Sim.Events() }
 
 // AttachAdversary registers an extra endpoint in datacenter dc, joined to
 // the transaction multicast group so it observes sequencer traffic and can

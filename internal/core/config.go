@@ -9,6 +9,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/contract"
@@ -132,3 +133,66 @@ func DefaultConfig() Config {
 }
 
 func (c Config) quorum() int { return 2*c.F + 1 }
+
+// Validate reports the first configuration error, after applying the same
+// derivations NewCluster performs (NumConsensus = 3F+1 when zero, F =
+// (NumConsensus-1)/3 when zero and NumConsensus >= 4). A Config that
+// validates builds a runnable cluster; one that does not would previously
+// have failed deep inside the simulation (divide-by-zero, empty quorums),
+// so callers — in particular scenario.Validate — should check before
+// constructing a cluster.
+func (c Config) Validate() error {
+	if c.NumConsensus == 0 {
+		c.NumConsensus = 3*c.F + 1
+	}
+	if c.F == 0 && c.NumConsensus >= 4 {
+		c.F = (c.NumConsensus - 1) / 3
+	}
+	switch {
+	case c.NumOrgs < 1:
+		return fmt.Errorf("core: NumOrgs must be >= 1 (got %d)", c.NumOrgs)
+	case c.NormalPerOrg < 1:
+		return fmt.Errorf("core: NormalPerOrg must be >= 1 (got %d)", c.NormalPerOrg)
+	case c.NumConsensus < 1:
+		return fmt.Errorf("core: NumConsensus must be >= 1 (got %d)", c.NumConsensus)
+	case c.F < 0:
+		return fmt.Errorf("core: F must be >= 0 (got %d)", c.F)
+	case c.F > 0 && c.NumConsensus < 3*c.F+1:
+		return fmt.Errorf("core: NumConsensus %d cannot tolerate F=%d faults (need >= %d)",
+			c.NumConsensus, c.F, 3*c.F+1)
+	case c.BlockSize < 1:
+		return fmt.Errorf("core: BlockSize must be >= 1 (got %d)", c.BlockSize)
+	case c.NumDCs < 0:
+		return fmt.Errorf("core: NumDCs must be >= 0 (got %d)", c.NumDCs)
+	case c.ReexecThreshold < 0 || c.ReexecThreshold > 1:
+		return fmt.Errorf("core: ReexecThreshold must be in [0,1] (got %g)", c.ReexecThreshold)
+	case c.SampleVerify < 0:
+		return fmt.Errorf("core: SampleVerify must be >= 0 (got %d)", c.SampleVerify)
+	case c.SeqBatchMax < 0:
+		return fmt.Errorf("core: SeqBatchMax must be >= 0 (got %d)", c.SeqBatchMax)
+	}
+	switch c.Protocol {
+	case "", ProtoPBFT, ProtoHotStuff, ProtoZyzzyva, ProtoSBFT:
+	default:
+		return fmt.Errorf("core: unknown protocol %q", c.Protocol)
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"BlockTimeout", c.BlockTimeout},
+		{"ViewTimeout", c.ViewTimeout},
+		{"ClientTimeout", c.ClientTimeout},
+		{"SeqFlushInterval", c.SeqFlushInterval},
+		{"ResultFlushInterval", c.ResultFlushInterval},
+		{"DenyRejoin", c.DenyRejoin},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("core: %s must be >= 0 (got %s)", d.name, d.v)
+		}
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigValidate covers every rejection class of Config.Validate, plus
+// the derivation rules it must apply before judging (NumConsensus from F and
+// vice versa) so that configs NewCluster would accept are not rejected.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string // substring of the expected error; "" = valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"derive-consensus-from-f", func(c *Config) { c.NumConsensus = 0; c.F = 2 }, ""},
+		{"derive-f-from-consensus", func(c *Config) { c.NumConsensus = 7; c.F = 0 }, ""},
+		{"zero-orgs", func(c *Config) { c.NumOrgs = 0 }, "NumOrgs"},
+		{"zero-normal-per-org", func(c *Config) { c.NormalPerOrg = 0 }, "NormalPerOrg"},
+		{"zero-consensus-zero-f", func(c *Config) { c.NumConsensus = 0; c.F = 0 }, ""},
+		{"negative-f", func(c *Config) { c.NumConsensus = 4; c.F = -1 }, "F must be >= 0"},
+		{"quorum-infeasible", func(c *Config) { c.NumConsensus = 5; c.F = 2 }, "cannot tolerate"},
+		{"zero-block-size", func(c *Config) { c.BlockSize = 0 }, "BlockSize"},
+		{"negative-dcs", func(c *Config) { c.NumDCs = -1 }, "NumDCs"},
+		{"reexec-threshold-range", func(c *Config) { c.ReexecThreshold = 1.2 }, "ReexecThreshold"},
+		{"negative-sample-verify", func(c *Config) { c.SampleVerify = -1 }, "SampleVerify"},
+		{"negative-seq-batch", func(c *Config) { c.SeqBatchMax = -1 }, "SeqBatchMax"},
+		{"unknown-protocol", func(c *Config) { c.Protocol = "paxos" }, "unknown protocol"},
+		{"negative-block-timeout", func(c *Config) { c.BlockTimeout = -time.Millisecond }, "BlockTimeout"},
+		{"negative-view-timeout", func(c *Config) { c.ViewTimeout = -1 }, "ViewTimeout"},
+		{"negative-client-timeout", func(c *Config) { c.ClientTimeout = -1 }, "ClientTimeout"},
+		{"negative-seq-flush", func(c *Config) { c.SeqFlushInterval = -1 }, "SeqFlushInterval"},
+		{"negative-result-flush", func(c *Config) { c.ResultFlushInterval = -1 }, "ResultFlushInterval"},
+		{"negative-deny-rejoin", func(c *Config) { c.DenyRejoin = -1 }, "DenyRejoin"},
+		{"negative-intra-latency", func(c *Config) { c.Topology.IntraLatency = -1 }, "IntraLatency"},
+		{"loss-rate-range", func(c *Config) { c.Topology.LossRate = 1 }, "LossRate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}

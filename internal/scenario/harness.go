@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/types"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// Harness is the framework-agnostic cluster surface the scenario driver
+// runs against. Both core.Cluster (BIDL) and fabric.Cluster (the HLF /
+// FastFabric / StreamChain baselines) implement it; a new framework plugs
+// into every registry experiment and CLI by implementing this interface.
+type Harness interface {
+	// RegisterClients creates client endpoints for identities the workload
+	// generator has registered with the membership scheme.
+	RegisterClients(ids []crypto.Identity)
+	// Prepopulate applies fn to every replica's committed world state.
+	Prepopulate(fn func(*ledger.State))
+	// SubmitAt schedules transactions for submission by their own clients
+	// at virtual time at.
+	SubmitAt(at time.Duration, txns ...*types.Transaction)
+	// Run advances the simulation to absolute virtual time t.
+	Run(t time.Duration)
+	// LeaderIndex reports the current consensus leader (for attacks).
+	LeaderIndex() int
+	// CheckSafety audits end-of-run ledger and state consistency.
+	CheckSafety() error
+	// Metrics returns the run's metrics collector.
+	Metrics() *metrics.Collector
+	// IdentityScheme returns the membership crypto scheme.
+	IdentityScheme() crypto.Scheme
+	// VirtualEvents returns the number of discrete events executed.
+	VirtualEvents() uint64
+}
+
+// lifecycle phases enforced by Driver.
+type lifecyclePhase int
+
+const (
+	phaseNew lifecyclePhase = iota
+	phaseClientsRegistered
+	phasePrepopulated
+	phaseRunning
+)
+
+func (p lifecyclePhase) String() string {
+	switch p {
+	case phaseNew:
+		return "new"
+	case phaseClientsRegistered:
+		return "clients-registered"
+	case phasePrepopulated:
+		return "prepopulated"
+	default:
+		return "running"
+	}
+}
+
+// Driver wraps a Harness and enforces the lifecycle contract that was
+// previously implicit in both clusters: clients must be registered before
+// state is prepopulated, and both must happen before any submission or
+// simulation run. (Registering a client creates its endpoint — doing so
+// after traffic is scheduled would change endpoint-ID assignment and break
+// run-to-run determinism; prepopulating after submissions start would let
+// transactions execute against unseeded accounts.) Violations return
+// errors instead of silently corrupting the run.
+type Driver struct {
+	h     Harness
+	phase lifecyclePhase
+}
+
+// NewDriver wraps h in a fresh lifecycle.
+func NewDriver(h Harness) *Driver { return &Driver{h: h} }
+
+// Harness exposes the wrapped harness (for observers; lifecycle-relevant
+// calls should go through the driver).
+func (d *Driver) Harness() Harness { return d.h }
+
+// RegisterClients is the mandatory first step.
+func (d *Driver) RegisterClients(ids []crypto.Identity) error {
+	if d.phase != phaseNew {
+		return fmt.Errorf("scenario: RegisterClients must be the first lifecycle step (driver is %s)", d.phase)
+	}
+	d.h.RegisterClients(ids)
+	d.phase = phaseClientsRegistered
+	return nil
+}
+
+// Prepopulate seeds world state; it must follow RegisterClients and
+// precede any submission.
+func (d *Driver) Prepopulate(fn func(*ledger.State)) error {
+	if d.phase != phaseClientsRegistered {
+		return fmt.Errorf("scenario: Prepopulate must follow RegisterClients and precede submissions (driver is %s)", d.phase)
+	}
+	d.h.Prepopulate(fn)
+	d.phase = phasePrepopulated
+	return nil
+}
+
+// SubmitAt schedules transactions; clients must be registered and state
+// prepopulated first.
+func (d *Driver) SubmitAt(at time.Duration, txns ...*types.Transaction) error {
+	if d.phase < phasePrepopulated {
+		return fmt.Errorf("scenario: SubmitAt before RegisterClients+Prepopulate (driver is %s)", d.phase)
+	}
+	d.h.SubmitAt(at, txns...)
+	return nil
+}
+
+// ScheduleRate schedules rate txns/s over window, drawing batches from
+// gen, and returns the total number of transactions scheduled.
+func (d *Driver) ScheduleRate(gen *workload.Generator, rate float64, window time.Duration) (int, error) {
+	if d.phase < phasePrepopulated {
+		return 0, fmt.Errorf("scenario: ScheduleRate before RegisterClients+Prepopulate (driver is %s)", d.phase)
+	}
+	n := ScheduleTicks(rate, window, func(at time.Duration, n int) {
+		d.h.SubmitAt(at, gen.Batch(n)...)
+	})
+	return n, nil
+}
+
+// Run advances the simulation; the lifecycle must be complete.
+func (d *Driver) Run(t time.Duration) error {
+	if d.phase < phasePrepopulated {
+		return fmt.Errorf("scenario: Run before RegisterClients+Prepopulate (driver is %s)", d.phase)
+	}
+	d.phase = phaseRunning
+	d.h.Run(t)
+	return nil
+}

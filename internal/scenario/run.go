@@ -1,0 +1,437 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/attack"
+	"github.com/bidl-framework/bidl/internal/baseline/fabric"
+	"github.com/bidl-framework/bidl/internal/core"
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// Both clusters must satisfy the framework-agnostic harness surface.
+var (
+	_ Harness = (*core.Cluster)(nil)
+	_ Harness = (*fabric.Cluster)(nil)
+)
+
+// Result summarizes one scenario run.
+type Result struct {
+	// Submitted is the number of transactions scheduled onto the cluster.
+	Submitted int
+	// Throughput is effective committed txns/s inside the measurement
+	// window [Warmup, Window).
+	Throughput  float64
+	AvgLatency  time.Duration
+	P50, P99    time.Duration
+	AbortRate   float64
+	SpecSuccess float64
+	// Events is the number of virtual events the run's simulator executed.
+	Events uint64
+	// Collector exposes the run's full metrics for custom tables.
+	Collector *metrics.Collector
+	// SafetyErr is the end-of-run consistency audit result (nil = safe).
+	SafetyErr error
+}
+
+// RunConfig carries runtime-only knobs that are deliberately not part of
+// the declarative spec.
+type RunConfig struct {
+	// Tracer, when non-nil, records per-transaction lifecycle spans and
+	// telemetry for the run.
+	Tracer *trace.Tracer
+	// Observe, when non-nil, is called with the harness after the
+	// simulation finishes (before the safety audit) — for tests and
+	// embedders that need framework-specific state such as ledger digests.
+	Observe func(Harness)
+}
+
+// Run executes the scenario and returns its result. The only error source
+// is Validate: a spec that validates runs to completion (safety-audit
+// failures are reported in Result.SafetyErr, not as an error).
+func Run(s Scenario) (Result, error) { return RunWith(s, RunConfig{}) }
+
+// RunWith is Run with runtime knobs. It is the one shared driver behind
+// every registry experiment, `bidl-sim`, and `bidl-sim -scenario`: build
+// the framework's cluster from the compiled spec, register the workload's
+// clients, prepopulate accounts, arm the attack, schedule the offered
+// load, run past the window to drain, then summarize and safety-check.
+func RunWith(s Scenario, rc RunConfig) (Result, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+
+	window := s.Load.Window.D()
+	warmup := s.Load.Warmup.D()
+	if warmup == 0 {
+		warmup = window / 5
+	}
+	drain := s.Load.Drain.D()
+	if drain == 0 {
+		drain = 500 * time.Millisecond
+	}
+
+	var (
+		h    Harness
+		bc   *core.Cluster
+		fc   *fabric.Cluster
+		orgs int
+	)
+	if s.Framework == FrameworkBIDL {
+		cfg := s.bidlConfig()
+		cfg.Tracer = rc.Tracer
+		bc = core.NewCluster(cfg)
+		h, orgs = bc, cfg.NumOrgs
+	} else {
+		cfg := s.fabricConfig()
+		cfg.Tracer = rc.Tracer
+		fc = fabric.NewCluster(cfg)
+		h, orgs = fc, cfg.NumOrgs
+	}
+
+	w := s.workloadConfig(orgs)
+	gen := workload.NewGenerator(w, h.IdentityScheme())
+	ids := make([]crypto.Identity, w.NumClients)
+	for i := range ids {
+		ids[i] = gen.Client(i)
+	}
+	d := NewDriver(h)
+	if err := d.RegisterClients(ids); err != nil {
+		return Result{}, err
+	}
+	if err := d.Prepopulate(gen.Prepopulate); err != nil {
+		return Result{}, err
+	}
+	// Attacks arm after the membership is complete (the broadcaster
+	// registers its own endpoint; doing so earlier would shift endpoint
+	// IDs and change the run) but before any load is scheduled.
+	s.applyAttack(bc, fc, gen)
+	n, err := d.ScheduleRate(gen, s.Load.Rate, window)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := d.Run(window + drain); err != nil {
+		return Result{}, err
+	}
+	if rc.Observe != nil {
+		rc.Observe(h)
+	}
+
+	col := h.Metrics()
+	return Result{
+		Submitted:   n,
+		Throughput:  col.EffectiveThroughput(warmup, window),
+		AvgLatency:  col.AvgLatency(warmup, window),
+		P50:         col.PercentileLatency(0.5, warmup, window),
+		P99:         col.PercentileLatency(0.99, warmup, window),
+		AbortRate:   col.AbortRate(),
+		SpecSuccess: col.SpecSuccessRate(),
+		Events:      h.VirtualEvents(),
+		Collector:   col,
+		SafetyErr:   h.CheckSafety(),
+	}, nil
+}
+
+// ScheduleTicks drives fn once per millisecond with the txn count owed at
+// that tick, returning the total scheduled. The count owed is derived from
+// the rounded cumulative target rate*elapsed rather than a running float
+// accumulator, so rounding error never compounds: for any rate, the total
+// scheduled over window is exactly round(rate * window_seconds).
+func ScheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
+	tick := time.Millisecond
+	total := 0
+	for at := time.Duration(0); at < window; at += tick {
+		target := int(math.Round(rate * (at + tick).Seconds()))
+		if n := target - total; n > 0 {
+			fn(at, n)
+			total = target
+		}
+	}
+	return total
+}
+
+// --- spec → framework config compilation --------------------------------
+
+// topology lowers TopologySpec onto simnet.DefaultTopology, overriding
+// only explicitly set fields. Negative bandwidths mean unlimited.
+func (t TopologySpec) topology() simnet.Topology {
+	topo := simnet.DefaultTopology()
+	if t.IntraLatency != 0 {
+		topo.IntraLatency = t.IntraLatency.D()
+	}
+	if t.InterLatency != 0 {
+		topo.InterLatency = t.InterLatency.D()
+	}
+	if t.NICGbps < 0 {
+		topo.NICBandwidth = 0
+	} else if t.NICGbps > 0 {
+		topo.NICBandwidth = int64(t.NICGbps * float64(simnet.Gbps))
+	}
+	if t.InterDCGbps > 0 {
+		topo.InterDCBandwidth = int64(t.InterDCGbps * float64(simnet.Gbps))
+	}
+	if t.Jitter != 0 {
+		topo.Jitter = t.Jitter.D()
+	}
+	topo.LossRate = t.LossRate
+	return topo
+}
+
+// bidlConfig compiles the spec for the BIDL framework: start from
+// core.DefaultConfig (the paper's setting A) and override only fields the
+// spec sets, so an empty spec reproduces the default deployment exactly.
+func (s Scenario) bidlConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = s.EffectiveSeed()
+	if s.Protocol != "" {
+		cfg.Protocol = s.Protocol
+	}
+	if s.Nodes.Orgs > 0 {
+		cfg.NumOrgs = s.Nodes.Orgs
+	}
+	if s.Nodes.PerOrg > 0 {
+		cfg.NormalPerOrg = s.Nodes.PerOrg
+	}
+	if s.Nodes.Consensus > 0 {
+		cfg.NumConsensus = s.Nodes.Consensus
+		cfg.F = 0 // rederive below unless the spec pins it
+	}
+	if s.Nodes.Faults > 0 {
+		cfg.F = s.Nodes.Faults
+	} else if s.Nodes.Consensus >= 4 {
+		cfg.F = (s.Nodes.Consensus - 1) / 3
+	}
+	if s.Nodes.Datacenters > 0 {
+		cfg.NumDCs = s.Nodes.Datacenters
+	}
+	cfg.Topology = s.Topology.topology()
+
+	tu := s.Tuning
+	if tu.BlockSize > 0 {
+		cfg.BlockSize = tu.BlockSize
+	}
+	if tu.BlockTimeout != 0 {
+		cfg.BlockTimeout = tu.BlockTimeout.D()
+	}
+	if tu.ViewTimeout != 0 {
+		cfg.ViewTimeout = tu.ViewTimeout.D()
+	}
+	if tu.ClientTimeout != 0 {
+		cfg.ClientTimeout = tu.ClientTimeout.D()
+	}
+	if tu.SeqFlushInterval != 0 {
+		cfg.SeqFlushInterval = tu.SeqFlushInterval.D()
+	}
+	if tu.SeqBatchMax > 0 {
+		cfg.SeqBatchMax = tu.SeqBatchMax
+	}
+	if tu.ResultFlushInterval != 0 {
+		cfg.ResultFlushInterval = tu.ResultFlushInterval.D()
+	}
+	if tu.ReexecThreshold > 0 {
+		cfg.ReexecThreshold = tu.ReexecThreshold
+	}
+	if tu.SampleVerify > 0 {
+		cfg.SampleVerify = tu.SampleVerify
+	}
+	if tu.DenyRejoin != 0 {
+		cfg.DenyRejoin = tu.DenyRejoin.D()
+	}
+	cfg.DisableDenylist = tu.DisableDenylist
+	cfg.DisableMulticast = tu.DisableMulticast
+	cfg.ConsensusOnPayload = tu.ConsensusOnPayload
+	cfg.DisableSpeculation = tu.DisableSpeculation
+
+	if s.Costs != nil {
+		cfg.Costs = *s.Costs
+	}
+	return cfg
+}
+
+// fabricVariant maps the framework name onto the baseline variant.
+func fabricVariant(framework string) (fabric.Variant, bool) {
+	switch framework {
+	case FrameworkHLF:
+		return fabric.HLF, true
+	case FrameworkFastFabric:
+		return fabric.FastFabric, true
+	case FrameworkStreamChain:
+		return fabric.StreamChain, true
+	}
+	return 0, false
+}
+
+// fabricConfig compiles the spec for a baseline framework, starting from
+// the variant's DefaultConfig.
+func (s Scenario) fabricConfig() fabric.Config {
+	v, _ := fabricVariant(s.Framework)
+	cfg := fabric.DefaultConfig(v)
+	cfg.Seed = s.EffectiveSeed()
+	if s.Protocol != "" {
+		cfg.Protocol = s.Protocol
+	}
+	if s.Nodes.Orgs > 0 {
+		cfg.NumOrgs = s.Nodes.Orgs
+	}
+	if s.Nodes.PerOrg > 0 {
+		cfg.PeersPerOrg = s.Nodes.PerOrg
+	}
+	if s.Nodes.Consensus > 0 {
+		cfg.NumOrderers = s.Nodes.Consensus
+		cfg.F = 0
+	}
+	if s.Nodes.Faults > 0 {
+		cfg.F = s.Nodes.Faults
+	} else if s.Nodes.Consensus >= 4 {
+		cfg.F = (s.Nodes.Consensus - 1) / 3
+	}
+	if s.Nodes.Datacenters > 0 {
+		cfg.NumDCs = s.Nodes.Datacenters
+	}
+	cfg.Topology = s.Topology.topology()
+
+	tu := s.Tuning
+	if tu.BlockSize > 0 {
+		cfg.BlockSize = tu.BlockSize
+	}
+	if tu.BlockTimeout != 0 {
+		cfg.BlockTimeout = tu.BlockTimeout.D()
+	}
+	if tu.ViewTimeout != 0 {
+		cfg.ViewTimeout = tu.ViewTimeout.D()
+	}
+	if s.Costs != nil {
+		cfg.Costs = *s.Costs
+	}
+	return cfg
+}
+
+// workloadConfig compiles the workload spec. orgs is the compiled
+// cluster's organization count — the generator always spans exactly the
+// deployed organizations.
+func (s Scenario) workloadConfig(orgs int) workload.Config {
+	w := workload.DefaultConfig(orgs)
+	ws := s.Workload
+	if ws.Clients > 0 {
+		w.NumClients = ws.Clients
+	}
+	if ws.Accounts > 0 {
+		w.Accounts = ws.Accounts
+	}
+	if ws.HotFraction > 0 {
+		w.HotFraction = ws.HotFraction
+	}
+	w.ContentionRatio = ws.Contention
+	w.NondetRatio = ws.Nondet
+	if ws.InitialBalance != 0 {
+		w.InitialBalance = ws.InitialBalance
+	}
+	if ws.Padding > 0 {
+		w.Padding = ws.Padding
+	}
+	w.Seed = ws.Seed
+	if w.Seed == 0 {
+		w.Seed = s.EffectiveSeed()
+	}
+	return w
+}
+
+// applyAttack arms the spec's adversary on the freshly built cluster.
+// Exactly one of bc/fc is non-nil; Validate has already rejected
+// kind/framework combinations that cannot be armed.
+func (s Scenario) applyAttack(bc *core.Cluster, fc *fabric.Cluster, gen *workload.Generator) {
+	switch s.Attack.Kind {
+	case "", AttackNone:
+	case AttackLeader:
+		if bc != nil {
+			attack.EnableMaliciousLeader(bc, bc.LeaderIndex())
+		} else {
+			fc.Orderers[fc.LeaderIndex()].ProposeGarbage = true
+		}
+	case AttackBroadcaster, AttackSmart:
+		cfg := attack.DefaultBroadcasterConfig()
+		if len(s.Attack.MaliciousClients) > 0 {
+			cfg.MaliciousClients = s.Attack.MaliciousClients
+		}
+		if s.Attack.Window > 0 {
+			cfg.Window = s.Attack.Window
+		}
+		if s.Attack.Interval != 0 {
+			cfg.Interval = s.Attack.Interval.D()
+		}
+		if s.Attack.DetectLag != 0 {
+			cfg.DetectLag = s.Attack.DetectLag.D()
+		}
+		if s.Attack.Kind == AttackSmart {
+			cfg.TargetLeader = bc.LeaderIndex()
+		}
+		b := attack.NewBroadcaster(bc, gen, cfg)
+		b.Start(s.Attack.Start.D())
+	}
+}
+
+// Validate reports the first error in the spec or in the framework config
+// it compiles to. A scenario that validates runs to completion.
+func (s Scenario) Validate() error {
+	s = s.WithDefaults()
+
+	isBIDL := s.Framework == FrameworkBIDL
+	if _, ok := fabricVariant(s.Framework); !ok && !isBIDL {
+		return fmt.Errorf("scenario: unknown framework %q", s.Framework)
+	}
+	if n := s.Nodes; n.Orgs < 0 || n.PerOrg < 0 || n.Consensus < 0 || n.Faults < 0 || n.Datacenters < 0 {
+		return fmt.Errorf("scenario: node counts must be >= 0 (%+v)", n)
+	}
+
+	if s.Load.Window <= 0 {
+		return fmt.Errorf("scenario: load.window must be > 0 (got %s)", s.Load.Window)
+	}
+	if s.Load.Rate < 0 {
+		return fmt.Errorf("scenario: load.rate must be >= 0 (got %g)", s.Load.Rate)
+	}
+	if s.Load.Warmup < 0 || s.Load.Drain < 0 {
+		return fmt.Errorf("scenario: load.warmup and load.drain must be >= 0")
+	}
+
+	ws := s.Workload
+	switch {
+	case ws.Clients < 0 || ws.Accounts < 0:
+		return fmt.Errorf("scenario: workload counts must be >= 0")
+	case ws.HotFraction < 0 || ws.HotFraction > 1:
+		return fmt.Errorf("scenario: workload.hot_fraction must be in [0,1] (got %g)", ws.HotFraction)
+	case ws.Contention < 0 || ws.Contention > 1:
+		return fmt.Errorf("scenario: workload.contention must be in [0,1] (got %g)", ws.Contention)
+	case ws.Nondet < 0 || ws.Nondet > 1:
+		return fmt.Errorf("scenario: workload.nondet must be in [0,1] (got %g)", ws.Nondet)
+	}
+
+	switch s.Attack.Kind {
+	case "", AttackLeader:
+	case AttackBroadcaster, AttackSmart:
+		if !isBIDL {
+			return fmt.Errorf("scenario: attack %q requires the bidl framework (the broadcaster races the sequencer multicast)", s.Attack.Kind)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown attack kind %q", s.Attack.Kind)
+	}
+	if s.Attack.Start < 0 || s.Attack.Window < 0 || s.Attack.Interval < 0 || s.Attack.DetectLag < 0 {
+		return fmt.Errorf("scenario: attack parameters must be >= 0")
+	}
+	for _, ci := range s.Attack.MaliciousClients {
+		if ci < 0 {
+			return fmt.Errorf("scenario: malicious client indices must be >= 0 (got %d)", ci)
+		}
+	}
+
+	if isBIDL {
+		return s.bidlConfig().Validate()
+	}
+	return s.fabricConfig().Validate()
+}

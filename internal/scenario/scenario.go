@@ -1,0 +1,284 @@
+// Package scenario is the declarative experiment layer: one JSON-round-
+// trippable Scenario spec describes a complete simulated deployment —
+// framework, consensus protocol, topology, cost model, workload, attack,
+// offered load, and seed — and scenario.Run drives it through the shared,
+// framework-agnostic Harness lifecycle. Purpose-built blockchain simulators
+// get their reach from specs like this one: new frameworks plug in by
+// implementing Harness, new experiments by writing data instead of Go glue.
+//
+// Zero values mean "use the documented default" (the paper's evaluation
+// setting A); a Scenario{} with only Framework and Load set is a complete,
+// valid experiment. Validate reports configuration errors instead of
+// panicking, and every registry experiment in internal/bench is expressed
+// as a list of Scenario values (see `bidl-bench -dump-scenarios`).
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/cost"
+)
+
+// Framework names accepted by Scenario.Framework.
+const (
+	FrameworkBIDL        = "bidl"
+	FrameworkHLF         = "hlf"
+	FrameworkFastFabric  = "fastfabric"
+	FrameworkStreamChain = "streamchain"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("150ms", "1.2s") and unmarshals from either such a string or a JSON
+// number of nanoseconds.
+type Duration time.Duration
+
+// D converts to a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// String renders the duration ("10ms").
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as a quoted string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(time.Duration(d).String())), nil
+}
+
+// UnmarshalJSON accepts "150ms"-style strings and nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		s, err := strconv.Unquote(string(b))
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %s: %w", b, err)
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	ns, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("scenario: bad duration %s: %w", b, err)
+	}
+	*d = Duration(time.Duration(ns))
+	return nil
+}
+
+// Generate implements testing/quick.Generator, restricting random durations
+// to a range whose String() form re-parses exactly.
+func (Duration) Generate(r *rand.Rand, _ int) reflect.Value {
+	span := int64(1000 * time.Hour)
+	return reflect.ValueOf(Duration(r.Int63n(2*span) - span))
+}
+
+// Scenario is one complete declarative experiment: which framework to
+// simulate, on what cluster and network, under what workload and offered
+// load, with which (optional) adversary. The zero value of every field
+// selects the documented default, which mirrors the paper's evaluation
+// setting A (see DESIGN.md §9 for the defaults table).
+type Scenario struct {
+	// Name labels the scenario in logs and dumps; it does not affect the
+	// simulation.
+	Name string `json:"name,omitempty"`
+	// Framework selects the simulated system: "bidl" (default), or the
+	// baselines "hlf", "fastfabric", "streamchain".
+	Framework string `json:"framework,omitempty"`
+	// Protocol overrides the framework's consensus protocol. BIDL accepts
+	// bft-smart (default), hotstuff, zyzzyva, sbft; the baselines accept
+	// bft-smart and raft (default per variant).
+	Protocol string `json:"protocol,omitempty"`
+	// Seed drives all simulation and workload randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+
+	// Nodes sizes the cluster.
+	Nodes NodesSpec `json:"nodes,omitempty"`
+	// Topology shapes the simulated datacenter network.
+	Topology TopologySpec `json:"topology,omitempty"`
+	// Tuning adjusts protocol timeouts, batching, and ablation switches.
+	Tuning TuningSpec `json:"tuning,omitempty"`
+	// Costs overrides the virtual CPU cost model; nil selects the paper's
+	// calibrated model (cost.Default). Durations are JSON nanoseconds.
+	Costs *cost.Model `json:"costs,omitempty"`
+	// Workload parameterizes the SmallBank transaction mix.
+	Workload WorkloadSpec `json:"workload,omitempty"`
+	// Load is the offered load profile — the only group with no usable
+	// zero value: Window must be positive.
+	Load LoadSpec `json:"load"`
+	// Attack optionally arms one of the paper's adversaries.
+	Attack AttackSpec `json:"attack,omitempty"`
+}
+
+// NodesSpec sizes the simulated cluster. Zero fields mean setting A:
+// 50 organizations with 1 node each, 4 consensus nodes tolerating 1 fault,
+// in a single datacenter.
+type NodesSpec struct {
+	// Orgs is the number of organizations (default 50).
+	Orgs int `json:"orgs,omitempty"`
+	// PerOrg is the number of normal nodes (BIDL) or peers (baselines) per
+	// organization (default 1).
+	PerOrg int `json:"per_org,omitempty"`
+	// Consensus is the number of consensus nodes / orderers (default 4).
+	Consensus int `json:"consensus,omitempty"`
+	// Faults is the tolerated number of Byzantine consensus nodes. Zero
+	// with Consensus >= 4 derives (Consensus-1)/3.
+	Faults int `json:"faults,omitempty"`
+	// Datacenters spreads nodes round-robin over this many DCs (default 1).
+	Datacenters int `json:"datacenters,omitempty"`
+}
+
+// TopologySpec shapes the network. Zero fields mean the paper's cluster:
+// 0.2 ms intra-DC RTT, 20 ms inter-DC RTT, 40 Gbps NICs, no shared
+// inter-DC cap, no jitter, no loss. Negative bandwidths mean "unlimited".
+type TopologySpec struct {
+	// IntraLatency is the one-way delay within a datacenter (default 100µs).
+	IntraLatency Duration `json:"intra_latency,omitempty"`
+	// InterLatency is the one-way delay between datacenters (default 10ms).
+	InterLatency Duration `json:"inter_latency,omitempty"`
+	// NICGbps is per-endpoint egress capacity in Gbps (default 40;
+	// negative = unlimited).
+	NICGbps float64 `json:"nic_gbps,omitempty"`
+	// InterDCGbps caps the shared pipe per ordered DC pair in Gbps
+	// (default 0 = unlimited; the Fig 9 knob).
+	InterDCGbps float64 `json:"inter_dc_gbps,omitempty"`
+	// Jitter adds uniform [0, Jitter) delay per message (default 0).
+	Jitter Duration `json:"jitter,omitempty"`
+	// LossRate drops each delivery independently with this probability
+	// (default 0).
+	LossRate float64 `json:"loss_rate,omitempty"`
+}
+
+// TuningSpec adjusts batching, timeouts, and the design-ablation switches.
+// Zero durations and counts mean the framework's defaults (BIDL: 500-txn
+// blocks, 10ms block timeout, 150ms view timeout; StreamChain: block size 1).
+type TuningSpec struct {
+	BlockSize     int      `json:"block_size,omitempty"`
+	BlockTimeout  Duration `json:"block_timeout,omitempty"`
+	ViewTimeout   Duration `json:"view_timeout,omitempty"`
+	ClientTimeout Duration `json:"client_timeout,omitempty"`
+
+	// BIDL-only batching/shepherding knobs (ignored by the baselines).
+	SeqFlushInterval    Duration `json:"seq_flush_interval,omitempty"`
+	SeqBatchMax         int      `json:"seq_batch_max,omitempty"`
+	ResultFlushInterval Duration `json:"result_flush_interval,omitempty"`
+	ReexecThreshold     float64  `json:"reexec_threshold,omitempty"`
+	SampleVerify        int      `json:"sample_verify,omitempty"`
+	DenyRejoin          Duration `json:"deny_rejoin,omitempty"`
+
+	// Ablation switches (BIDL-only, all default off).
+	DisableDenylist    bool `json:"disable_denylist,omitempty"`
+	DisableMulticast   bool `json:"disable_multicast,omitempty"`
+	ConsensusOnPayload bool `json:"consensus_on_payload,omitempty"`
+	DisableSpeculation bool `json:"disable_speculation,omitempty"`
+}
+
+// WorkloadSpec parameterizes the SmallBank mix. Zero fields mean the
+// paper's standard workload: 100 clients, 10000 accounts, 1% hot set,
+// no contention, no non-determinism, ~1KB transactions.
+type WorkloadSpec struct {
+	Clients     int     `json:"clients,omitempty"`
+	Accounts    int     `json:"accounts,omitempty"`
+	HotFraction float64 `json:"hot_fraction,omitempty"`
+	// Contention is the probability a transfer touches a hot account.
+	Contention float64 `json:"contention,omitempty"`
+	// Nondet is the probability a transaction is non-deterministic.
+	Nondet float64 `json:"nondet,omitempty"`
+	// InitialBalance seeds every account (default 1,000,000).
+	InitialBalance int64 `json:"initial_balance,omitempty"`
+	// Padding sizes transactions in bytes (default ~1KB).
+	Padding uint32 `json:"padding,omitempty"`
+	// Seed drives workload randomness; zero inherits the scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// LoadSpec is the offered-load profile.
+type LoadSpec struct {
+	// Rate is the offered load in txns/s.
+	Rate float64 `json:"rate"`
+	// Window is how long load is offered; the run then drains.
+	Window Duration `json:"window"`
+	// Warmup excludes the interval [0, Warmup) from measurements
+	// (default Window/5).
+	Warmup Duration `json:"warmup,omitempty"`
+	// Drain extends the simulation past the load window so in-flight
+	// transactions commit (default 500ms).
+	Drain Duration `json:"drain,omitempty"`
+}
+
+// Attack kinds accepted by AttackSpec.Kind.
+const (
+	AttackNone = "none"
+	// AttackLeader turns the current leader malicious (Table 4 S2): BIDL's
+	// leader sequencer emits garbage; a baseline's leader orderer proposes
+	// invalid transactions.
+	AttackLeader = "leader"
+	// AttackBroadcaster arms the §6.2 malicious broadcaster (BIDL only).
+	AttackBroadcaster = "broadcaster"
+	// AttackSmart is a broadcaster that attacks only views led by the
+	// leader observed at startup (the Fig 7 smart adversary; BIDL only).
+	AttackSmart = "smart"
+)
+
+// AttackSpec optionally arms an adversary. The zero value is "no attack".
+// Broadcaster knobs left zero take attack.DefaultBroadcasterConfig.
+type AttackSpec struct {
+	// Kind is one of "", "none", "leader", "broadcaster", "smart".
+	Kind string `json:"kind,omitempty"`
+	// Start is the virtual time a broadcaster arms (leader attacks apply
+	// at time zero regardless).
+	Start Duration `json:"start,omitempty"`
+	// Window is how many sequence numbers ahead of the observed frontier
+	// each burst contests.
+	Window int `json:"window,omitempty"`
+	// Interval is the burst period.
+	Interval Duration `json:"interval,omitempty"`
+	// DetectLag models how long the adversary needs to notice a
+	// leadership change.
+	DetectLag Duration `json:"detect_lag,omitempty"`
+	// MaliciousClients are the colluding client indices.
+	MaliciousClients []int `json:"malicious_clients"`
+}
+
+// WithDefaults returns the scenario with its framework name normalized.
+// All remaining defaulting happens at compile time (bidlConfig /
+// fabricConfig / workloadConfig) so that specs stay minimal.
+func (s Scenario) WithDefaults() Scenario {
+	if s.Framework == "" {
+		s.Framework = FrameworkBIDL
+	}
+	if s.Attack.Kind == AttackNone {
+		s.Attack.Kind = ""
+	}
+	return s
+}
+
+// EffectiveSeed resolves the simulation seed (default 1).
+func (s Scenario) EffectiveSeed() int64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return 1
+}
+
+// Parse decodes a user-authored scenario from JSON, rejecting unknown
+// fields so typos surface as errors instead of silently selecting defaults.
+func Parse(data []byte) (Scenario, error) {
+	var s Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return s, nil
+}
+
+// Marshal renders the scenario as indented JSON.
+func (s Scenario) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/crypto"
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/metrics"
+	"github.com/bidl-framework/bidl/internal/types"
+	"github.com/bidl-framework/bidl/internal/workload"
+)
+
+// TestScenarioJSONRoundTrip is the codec property test: any Scenario value
+// must survive marshal → unmarshal exactly. Duration's custom Generate
+// keeps random durations in a range whose human-readable String() form
+// re-parses losslessly.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	f := func(s Scenario) bool {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		var back Scenario
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Logf("round-trip mismatch:\n in: %+v\nout: %+v\njson: %s", s, back, data)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarshalParseRoundTrip checks the user-facing entry points (indented
+// Marshal, strict Parse) agree with each other.
+func TestMarshalParseRoundTrip(t *testing.T) {
+	s := Scenario{
+		Name:      "example",
+		Framework: FrameworkBIDL,
+		Protocol:  "hotstuff",
+		Seed:      42,
+		Nodes:     NodesSpec{Orgs: 7, Consensus: 7, Faults: 2},
+		Topology:  TopologySpec{InterDCGbps: 1.5, LossRate: 0.01},
+		Workload:  WorkloadSpec{Contention: 0.2},
+		Load: LoadSpec{Rate: 1000, Window: Duration(time.Second),
+			Warmup: Duration(100 * time.Millisecond)},
+		Attack: AttackSpec{Kind: AttackSmart, Start: Duration(200 * time.Millisecond)},
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round-trip mismatch:\n in: %+v\nout: %+v", s, back)
+	}
+}
+
+// TestParseRejectsUnknownFields guards the strict decoding contract: a typo
+// in a user-authored spec must error, not silently select a default.
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse([]byte(`{"framwork": "bidl", "load": {"rate": 10, "window": "1s"}}`))
+	if err == nil || !strings.Contains(err.Error(), "framwork") {
+		t.Fatalf("want unknown-field error naming the typo, got %v", err)
+	}
+}
+
+// TestDurationForms checks both accepted JSON encodings.
+func TestDurationForms(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"150ms"`), &d); err != nil || d.D() != 150*time.Millisecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`1500000`), &d); err != nil || d.D() != 1500*time.Microsecond {
+		t.Fatalf("number form: %v %v", d, err)
+	}
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &d); err == nil {
+		t.Fatal("want error for malformed duration")
+	}
+	data, err := json.Marshal(Duration(10 * time.Millisecond))
+	if err != nil || string(data) != `"10ms"` {
+		t.Fatalf("marshal: %s %v", data, err)
+	}
+}
+
+// valid returns a minimal valid scenario to mutate in rejection cases.
+func valid() Scenario {
+	return Scenario{Load: LoadSpec{Rate: 100, Window: Duration(time.Second)}}
+}
+
+// TestValidate covers each rejection class, including configuration errors
+// surfaced from the compiled framework configs (core.Config.Validate /
+// fabric.Config.Validate).
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string // substring of the expected error; "" = valid
+	}{
+		{"minimal-default", func(s *Scenario) {}, ""},
+		{"fabric-variant", func(s *Scenario) { s.Framework = FrameworkStreamChain }, ""},
+		{"setting-b", func(s *Scenario) { s.Nodes = NodesSpec{Orgs: 7, Consensus: 7, Faults: 2} }, ""},
+		{"unknown-framework", func(s *Scenario) { s.Framework = "ethereum" }, "unknown framework"},
+		{"negative-nodes", func(s *Scenario) { s.Nodes.Orgs = -1 }, "node counts"},
+		{"zero-window", func(s *Scenario) { s.Load.Window = 0 }, "load.window"},
+		{"negative-rate", func(s *Scenario) { s.Load.Rate = -1 }, "load.rate"},
+		{"negative-warmup", func(s *Scenario) { s.Load.Warmup = -1 }, "load.warmup"},
+		{"contention-range", func(s *Scenario) { s.Workload.Contention = 1.5 }, "workload.contention"},
+		{"nondet-range", func(s *Scenario) { s.Workload.Nondet = -0.1 }, "workload.nondet"},
+		{"hot-fraction-range", func(s *Scenario) { s.Workload.HotFraction = 2 }, "hot_fraction"},
+		{"unknown-attack", func(s *Scenario) { s.Attack.Kind = "dos" }, "unknown attack"},
+		{"broadcaster-on-fabric", func(s *Scenario) {
+			s.Framework = FrameworkHLF
+			s.Attack.Kind = AttackBroadcaster
+		}, "requires the bidl framework"},
+		{"negative-attack-start", func(s *Scenario) {
+			s.Attack.Kind = AttackBroadcaster
+			s.Attack.Start = -1
+		}, "attack parameters"},
+		{"bad-malicious-client", func(s *Scenario) {
+			s.Attack.Kind = AttackSmart
+			s.Attack.MaliciousClients = []int{-3}
+		}, "malicious client"},
+		{"bad-bidl-protocol", func(s *Scenario) { s.Protocol = "tendermint" }, "unknown protocol"},
+		{"bad-fabric-protocol", func(s *Scenario) {
+			s.Framework = FrameworkFastFabric
+			s.Protocol = "hotstuff"
+		}, "unknown protocol"},
+		{"infeasible-quorum", func(s *Scenario) { s.Nodes = NodesSpec{Consensus: 5, Faults: 2} }, "tolerate"},
+		{"loss-rate-range", func(s *Scenario) { s.Topology.LossRate = 1 }, "LossRate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := valid()
+			tc.mut(&s)
+			err := s.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// fakeHarness satisfies Harness without running a simulation, so the
+// driver's lifecycle enforcement can be tested in isolation.
+type fakeHarness struct{ calls []string }
+
+func (f *fakeHarness) RegisterClients([]crypto.Identity) { f.calls = append(f.calls, "register") }
+func (f *fakeHarness) Prepopulate(func(*ledger.State))   { f.calls = append(f.calls, "prepop") }
+func (f *fakeHarness) SubmitAt(time.Duration, ...*types.Transaction) {
+	f.calls = append(f.calls, "submit")
+}
+func (f *fakeHarness) Run(time.Duration)             { f.calls = append(f.calls, "run") }
+func (f *fakeHarness) LeaderIndex() int              { return 0 }
+func (f *fakeHarness) CheckSafety() error            { return nil }
+func (f *fakeHarness) Metrics() *metrics.Collector   { return nil }
+func (f *fakeHarness) IdentityScheme() crypto.Scheme { return nil }
+func (f *fakeHarness) VirtualEvents() uint64         { return 0 }
+
+// TestDriverEnforcesLifecycle is the regression test for the
+// client-registration / prepopulation ordering bug class: the shared driver
+// must reject any call sequence other than RegisterClients → Prepopulate →
+// (SubmitAt | ScheduleRate)* → Run.
+func TestDriverEnforcesLifecycle(t *testing.T) {
+	gen := workload.NewGenerator(workload.DefaultConfig(4), crypto.NewHMACScheme([]byte("t")))
+
+	t.Run("prepopulate-before-register", func(t *testing.T) {
+		d := NewDriver(&fakeHarness{})
+		if err := d.Prepopulate(func(*ledger.State) {}); err == nil {
+			t.Fatal("Prepopulate before RegisterClients must error")
+		}
+	})
+	t.Run("submit-before-prepopulate", func(t *testing.T) {
+		d := NewDriver(&fakeHarness{})
+		if err := d.SubmitAt(0); err == nil {
+			t.Fatal("SubmitAt before Prepopulate must error")
+		}
+		if err := d.RegisterClients(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SubmitAt(0); err == nil {
+			t.Fatal("SubmitAt after RegisterClients but before Prepopulate must error")
+		}
+		if _, err := d.ScheduleRate(gen, 100, time.Second); err == nil {
+			t.Fatal("ScheduleRate before Prepopulate must error")
+		}
+	})
+	t.Run("run-before-prepopulate", func(t *testing.T) {
+		d := NewDriver(&fakeHarness{})
+		if err := d.Run(time.Second); err == nil {
+			t.Fatal("Run before Prepopulate must error")
+		}
+	})
+	t.Run("double-register", func(t *testing.T) {
+		d := NewDriver(&fakeHarness{})
+		if err := d.RegisterClients(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RegisterClients(nil); err == nil {
+			t.Fatal("second RegisterClients must error")
+		}
+	})
+	t.Run("correct-order", func(t *testing.T) {
+		h := &fakeHarness{}
+		d := NewDriver(h)
+		if err := d.RegisterClients(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Prepopulate(func(*ledger.State) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SubmitAt(0); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := d.ScheduleRate(gen, 1000, 10*time.Millisecond); err != nil || n <= 0 {
+			t.Fatalf("ScheduleRate: n=%d err=%v", n, err)
+		}
+		if err := d.Run(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"register", "prepop", "submit", "run"}
+		got := h.calls[:0:0]
+		for _, c := range h.calls {
+			if len(got) == 0 || got[len(got)-1] != c {
+				got = append(got, c)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("call order %v, want %v", got, want)
+		}
+	})
+}
+
+// TestRunEndToEnd exercises the whole declarative path on a small BIDL
+// cluster: spec → compile → drive → result.
+func TestRunEndToEnd(t *testing.T) {
+	sp := Scenario{
+		Name:     "smoke",
+		Nodes:    NodesSpec{Orgs: 4},
+		Workload: WorkloadSpec{Clients: 8, Accounts: 400},
+		Load:     LoadSpec{Rate: 2000, Window: Duration(100 * time.Millisecond)},
+	}
+	res, err := Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Submitted <= 0 {
+		t.Fatalf("submitted %d transactions", res.Submitted)
+	}
+	if res.SafetyErr != nil {
+		t.Fatalf("safety: %v", res.SafetyErr)
+	}
+	if res.Events == 0 {
+		t.Fatal("no virtual events recorded")
+	}
+	if res.Throughput <= 0 || res.AvgLatency <= 0 {
+		t.Fatalf("empty metrics: %+v", res)
+	}
+}
+
+// TestRunRejectsInvalidSpec checks Run surfaces Validate errors instead of
+// constructing a cluster from a bad spec.
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(Scenario{Framework: "ethereum"}); err == nil {
+		t.Fatal("Run accepted an invalid spec")
+	}
+}

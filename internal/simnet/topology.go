@@ -1,6 +1,9 @@
 package simnet
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Bandwidth values are in bytes per second. The paper's 40 Gbps NICs are
 // 5e9 B/s.
@@ -51,6 +54,25 @@ func MultiDCTopology(interDCBandwidth int64) Topology {
 	t := DefaultTopology()
 	t.InterDCBandwidth = interDCBandwidth
 	return t
+}
+
+// Validate reports the first out-of-range topology parameter.
+func (t Topology) Validate() error {
+	switch {
+	case t.IntraLatency < 0:
+		return fmt.Errorf("simnet: IntraLatency must be >= 0 (got %s)", t.IntraLatency)
+	case t.InterLatency < 0:
+		return fmt.Errorf("simnet: InterLatency must be >= 0 (got %s)", t.InterLatency)
+	case t.NICBandwidth < 0:
+		return fmt.Errorf("simnet: NICBandwidth must be >= 0 (got %d)", t.NICBandwidth)
+	case t.InterDCBandwidth < 0:
+		return fmt.Errorf("simnet: InterDCBandwidth must be >= 0 (got %d)", t.InterDCBandwidth)
+	case t.Jitter < 0:
+		return fmt.Errorf("simnet: Jitter must be >= 0 (got %s)", t.Jitter)
+	case t.LossRate < 0 || t.LossRate >= 1:
+		return fmt.Errorf("simnet: LossRate must be in [0,1) (got %g)", t.LossRate)
+	}
+	return nil
 }
 
 // latency returns the one-way propagation delay between two datacenters.
