@@ -6,7 +6,7 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
-	profile bench-hotpath hotpath-smoke scenario-smoke
+	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes
 
 all: build
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -27,7 +27,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke
+ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -61,6 +61,25 @@ scenario-smoke:
 	done
 	@$(GO) run ./cmd/bidl-bench -dump-scenarios -scale 0.1 | grep -q '"id": "fig5"' \
 		|| { echo "scenario-smoke: -dump-scenarios failed"; exit 1; }
+
+# PDES smoke: one small multi-DC deployment through bidl-sim twice — the
+# 4-worker conservative PDES engine under the race detector, then the serial
+# reference — and the full reports must be byte-identical. The exhaustive
+# per-experiment determinism gate is TestPDESDeterminismAllExperiments
+# (internal/bench), which `make race` runs for the whole registry.
+pdes-smoke:
+	$(GO) run -race ./cmd/bidl-sim -dcs 2 -rate 4000 -duration 400ms -sim-workers 4 > /tmp/bidl-pdes-par.txt
+	$(GO) run ./cmd/bidl-sim -dcs 2 -rate 4000 -duration 400ms > /tmp/bidl-pdes-ser.txt
+	@cmp /tmp/bidl-pdes-par.txt /tmp/bidl-pdes-ser.txt \
+		&& echo "pdes-smoke: parallel output byte-identical to serial"
+
+# Regenerate the BENCH_pdes.json trail: the fig5 sweep with the serial
+# engine, then with 4 PDES workers inside every run. Tables must stay
+# byte-identical; only wall-clock and events/sec move.
+bench-pdes:
+	$(GO) run ./cmd/bidl-bench -run fig5 -scale 0.15 -q -bench-json /tmp/bidl-pdes-serial.json
+	$(GO) run ./cmd/bidl-bench -run fig5 -scale 0.15 -q -sim-workers 4 -bench-json /tmp/bidl-pdes-parallel.json
+	@echo "results: /tmp/bidl-pdes-serial.json /tmp/bidl-pdes-parallel.json"
 
 # End-to-end trace smoke: a short traced run must produce a valid,
 # Perfetto-loadable Chrome trace (parses, has spans and counter tracks).

@@ -17,7 +17,10 @@
 // `bidl-sim -scenario`.
 //
 // Sweep points are independent seeded simulations, so -j/-parallel changes
-// only wall-clock time: tables are byte-identical to a serial run.
+// only wall-clock time: tables are byte-identical to a serial run. The same
+// holds one level down for -sim-workers, which turns on conservative
+// parallel discrete-event execution (PDES) inside each simulation; see
+// DESIGN.md §10.
 //
 // The -cpuprofile/-memprofile flags capture pprof profiles of the harness
 // itself (the profile-guided-optimization loop behind `make profile`):
@@ -48,6 +51,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 		jobs      = flag.Int("j", 1, "concurrent sweep points (1 = serial)")
 		parallel  = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
+		simWork   = flag.Int("sim-workers", 0, "PDES workers inside each simulation (0/1 = serial engine)")
 		jsonOut   = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "trace every run and print per-run telemetry summaries to stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -98,7 +102,7 @@ func main() {
 	if *parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers}
+	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers, SimWorkers: *simWork}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

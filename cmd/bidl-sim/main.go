@@ -9,6 +9,7 @@
 //	bidl-sim -attack broadcaster                # watch the denylist engage
 //	bidl-sim -dcs 4 -inter-gbps 1               # 4 datacenters, 1 Gbps pipes
 //	bidl-sim -runs 8 -j 4                       # 8 seeds, 4 at a time
+//	bidl-sim -sim-workers 4                     # PDES inside the run; same output
 //	bidl-sim -scenario examples/scenario-fig5.json
 //
 // With -runs N, seeds seed..seed+N-1 execute as independent simulations on
@@ -50,6 +51,7 @@ func main() {
 		interGbps  = flag.Float64("inter-gbps", 0, "shared inter-DC bandwidth (0 = unlimited)")
 		attackMode = flag.String("attack", "none", "none|leader|broadcaster|smart")
 		scenPath   = flag.String("scenario", "", "run a declarative scenario JSON file (topology/workload/attack flags are ignored)")
+		simWork    = flag.Int("sim-workers", 0, "PDES workers inside the simulation (0/1 = serial engine)")
 		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -runs)")
 		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs with -runs > 1")
@@ -136,6 +138,12 @@ func main() {
 		if tracing {
 			cfg.Tracer = bidl.NewTracer(bidl.TraceOptions{})
 		}
+		// Attacks mutate cluster state through paths the partitioned engine
+		// does not order, so PDES applies only to attack-free runs (the
+		// scenario layer enforces the same rule).
+		if *attackMode == "none" {
+			cfg.SimWorkers = *simWork
+		}
 
 		w := bidl.DefaultWorkload(*orgs)
 		w.ContentionRatio = *contention
@@ -183,6 +191,9 @@ func main() {
 		runOne = func(runSeed int64) outcome {
 			sp := spec
 			sp.Seed = runSeed
+			if *simWork > 1 && sp.SimWorkers == 0 {
+				sp.SimWorkers = *simWork
+			}
 			rc := bidl.ScenarioRunConfig{}
 			if tracing {
 				rc.Tracer = bidl.NewTracer(bidl.TraceOptions{})

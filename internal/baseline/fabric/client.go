@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/crypto"
@@ -120,7 +121,7 @@ func (cl *Client) onEndorse(ctx *simnet.Context, m *EndorseResp) {
 		if pt.resps[o].Endorsement.Digest != first.Endorsement.Digest {
 			pt.submitted = true
 			delete(cl.pending, m.TxID)
-			cl.c.Collector.NondetAborts++
+			atomic.AddUint64(&cl.c.Collector.NondetAborts, 1)
 			cl.c.Collector.Committed(m.TxID, ctx.Now(), true)
 			return
 		}

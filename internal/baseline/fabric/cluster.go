@@ -2,7 +2,9 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
@@ -40,7 +42,8 @@ type Cluster struct {
 	clientEps map[crypto.Identity]simnet.NodeID
 	policy    consensus.LeaderPolicy
 
-	violations []string
+	violationsMu sync.Mutex
+	violations   []string
 }
 
 // NewCluster builds a baseline deployment.
@@ -49,6 +52,11 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.NumOrderers = 3*cfg.F + 1
 	}
 	sim := simnet.NewSim(cfg.Seed)
+	// Same partitioning rule as the BIDL cluster: orderers and clients in
+	// the hub partition, peer organizations sharded over the rest.
+	nparts := simnet.PartitionCount(cfg.SimWorkers, cfg.NumOrgs)
+	sim.SetPartitions(nparts)
+	sim.SetWorkers(cfg.SimWorkers)
 	net := simnet.NewNetwork(sim, cfg.Topology)
 	net.SetTracer(cfg.Tracer)
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("fabric-%d", cfg.Seed)))
@@ -109,7 +117,7 @@ func NewCluster(cfg Config) *Cluster {
 		var peers []*Peer
 		for j := 0; j < cfg.PeersPerOrg; j++ {
 			p := newPeer(c, o, j, cfg.Seed*7_000_003+int64(o*64+j))
-			p.ep = net.Register(fmt.Sprintf("%s-peer%d", orgName(o), j), dc(node), p)
+			p.ep = net.RegisterPart(fmt.Sprintf("%s-peer%d", orgName(o), j), dc(node), simnet.ShardPartition(o, nparts), p)
 			node++
 			peers = append(peers, p)
 		}
@@ -154,6 +162,9 @@ func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
 	byClient := make(map[crypto.Identity][]*types.Transaction)
 	var order []crypto.Identity
 	for _, tx := range txns {
+		// Fill the lazy ID/signing/size caches before the transaction can
+		// cross a partition boundary (see Transaction.Warm).
+		tx.Warm()
 		if _, ok := byClient[tx.Client]; !ok {
 			order = append(order, tx.Client)
 		}
@@ -187,8 +198,12 @@ func (c *Cluster) LeaderIndex() int {
 	return leader
 }
 
+// safetyViolation records an invariant breach; peers in concurrent
+// partitions may report simultaneously, hence the lock.
 func (c *Cluster) safetyViolation(msg string) {
+	c.violationsMu.Lock()
 	c.violations = append(c.violations, msg)
+	c.violationsMu.Unlock()
 }
 
 // CheckSafety validates that all peers hold prefix-consistent ledgers and
@@ -207,7 +222,15 @@ func (c *Cluster) CheckSafety() error {
 			})
 		}
 	}
-	return ledger.CheckConsistency("fabric", c.violations, views, [][]ledger.SafetyView{views})
+	violations := c.violations
+	if c.Sim.NumPartitions() > 1 {
+		// Partitioned runs sort for a deterministic report (the multiset is
+		// engine-independent, the arrival order is not); single-partition
+		// runs keep the historical event order.
+		violations = append([]string(nil), violations...)
+		sort.Strings(violations)
+	}
+	return ledger.CheckConsistency("fabric", violations, views, [][]ledger.SafetyView{views})
 }
 
 // Metrics returns the cluster's metrics collector (the scenario.Harness

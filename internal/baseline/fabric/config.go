@@ -75,6 +75,12 @@ type Config struct {
 	NumDCs   int
 	Seed     int64
 
+	// SimWorkers requests conservative parallel discrete-event execution
+	// with this many worker goroutines; values below 2 keep the serial
+	// engine. Orderers and clients share the hub partition, peer
+	// organizations shard over the rest (see core.Config.SimWorkers).
+	SimWorkers int
+
 	// Tracer, when non-nil, records per-transaction lifecycle spans and
 	// node/link telemetry (see internal/trace). Nil disables tracing.
 	Tracer *trace.Tracer
@@ -138,6 +144,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fabric: ViewTimeout must be >= 0 (got %s)", c.ViewTimeout)
 	case c.NumDCs < 0:
 		return fmt.Errorf("fabric: NumDCs must be >= 0 (got %d)", c.NumDCs)
+	case c.SimWorkers < 0:
+		return fmt.Errorf("fabric: SimWorkers must be >= 0 (got %d)", c.SimWorkers)
 	}
 	switch c.Protocol {
 	case "", "bft-smart", "raft":

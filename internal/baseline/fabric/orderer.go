@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
@@ -220,7 +221,7 @@ func (o *Orderer) ViewChangeMeta() []byte { return nil }
 func (o *Orderer) ViewChanged(view uint64, leader int, metas [][]byte) {
 	o.vcOnce = false
 	if o.idx == 0 {
-		o.c.Collector.ViewChanges++
+		atomic.AddUint64(&o.c.Collector.ViewChanges, 1)
 	}
 }
 
@@ -272,7 +273,7 @@ func (o *Orderer) Deliver(seq uint64, v consensus.Value, cert *types.Certificate
 	}
 	if invalid > 0 && !o.vcOnce {
 		o.vcOnce = true
-		o.c.Collector.RejectedTxns += uint64(invalid)
+		atomic.AddUint64(&o.c.Collector.RejectedTxns, uint64(invalid))
 		o.replica.RequestViewChange()
 	}
 	o.delivered[seq] = blk

@@ -3,6 +3,7 @@ package fabric
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/crypto"
@@ -136,11 +137,11 @@ func (p *Peer) validateAndCommit(ctx *simnet.Context, blk *FabricBlock) {
 		aborted := env.Aborted
 		if !aborted && !p.validateEndorsements(env) {
 			aborted = true
-			p.c.Collector.RejectedTxns++
+			atomic.AddUint64(&p.c.Collector.RejectedTxns, 1)
 		}
 		if !aborted && !ledger.ValidateMVCC(p.state, &ledger.RWSet{Reads: env.Reads}) {
 			aborted = true
-			p.c.Collector.MVCCAborts++
+			atomic.AddUint64(&p.c.Collector.MVCCAborts, 1)
 		}
 		if !aborted {
 			ctx.Elapse(costs.CommitTxn)

@@ -46,3 +46,19 @@ func BenchmarkPipelineHotPath(b *testing.B) {
 	}
 	b.ReportMetric(float64(c.Sim.Events())/float64(b.N), "vevents/op")
 }
+
+// TestPipelineHotPathAllocs pins the profile-guided allocation budget: one
+// transaction end-to-end currently costs ~310 allocations (down from 1828
+// before the persist-path memoization — content-key/vector-digest caching,
+// bitmask persist votes, pooled HMAC states). The ceiling leaves headroom
+// for noise but fails loudly if a hot-path regression reintroduces per-echo
+// hashing or per-vote map churn.
+func TestPipelineHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark run")
+	}
+	r := testing.Benchmark(BenchmarkPipelineHotPath)
+	if a := r.AllocsPerOp(); a > 400 {
+		t.Fatalf("pipeline hot path allocates %d/op; ceiling 400", a)
+	}
+}

@@ -26,6 +26,12 @@ func runScenario(o Options, sp scenario.Scenario) Result {
 	if o.TraceSink != nil {
 		rc.Tracer = trace.New(trace.Options{})
 	}
+	// Harness-level PDES selection: an explicit sim_workers in the spec
+	// wins; otherwise the option applies to every point of the sweep.
+	if o.SimWorkers > 1 && sp.SimWorkers == 0 {
+		sp.SimWorkers = o.SimWorkers
+	}
+	rc.ForceSerialSim = o.ForceSerialSim
 	res, err := scenario.RunWith(sp, rc)
 	if err != nil {
 		res.SafetyErr = err

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
@@ -61,7 +63,8 @@ type Cluster struct {
 	keyOwner  contract.KeyOwnerFunc
 	tracer    *trace.Tracer
 
-	violations []string
+	violationsMu sync.Mutex
+	violations   []string
 }
 
 // NewCluster builds a BIDL deployment from cfg. Client identities must be
@@ -75,6 +78,12 @@ func NewCluster(cfg Config) *Cluster {
 		cfg.F = (cfg.NumConsensus - 1) / 3
 	}
 	sim := simnet.NewSim(cfg.Seed)
+	// Hub-and-shards PDES partitioning: consensus nodes, sequencers, and
+	// clients share partition 0 (they read each other's state mid-run);
+	// organizations of normal nodes shard over the remaining partitions.
+	nparts := simnet.PartitionCount(cfg.SimWorkers, cfg.NumOrgs)
+	sim.SetPartitions(nparts)
+	sim.SetWorkers(cfg.SimWorkers)
 	net := simnet.NewNetwork(sim, cfg.Topology)
 	net.SetTracer(cfg.Tracer)
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
@@ -148,7 +157,7 @@ func NewCluster(cfg Config) *Cluster {
 		var orgNodes []*NormalNode
 		for j := 0; j < cfg.NormalPerOrg; j++ {
 			nn := newNormalNode(c, o, j, cfg.Seed*1_000_003+int64(o*64+j))
-			nn.ep = net.Register(fmt.Sprintf("%s-nn%d", orgName(o), j), dc(node), nn)
+			nn.ep = net.RegisterPart(fmt.Sprintf("%s-nn%d", orgName(o), j), dc(node), simnet.ShardPartition(o, nparts), nn)
 			node++
 			net.Join(groupTxns, nn.ep.ID())
 			net.Join(groupBlocks, nn.ep.ID())
@@ -205,6 +214,9 @@ func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
 	byClient := make(map[crypto.Identity][]*types.Transaction)
 	var order []crypto.Identity
 	for _, tx := range txns {
+		// Fill the lazy ID/signing/size caches before the transaction can
+		// cross a partition boundary (see Transaction.Warm).
+		tx.Warm()
 		if _, ok := byClient[tx.Client]; !ok {
 			order = append(order, tx.Client)
 		}
@@ -243,8 +255,13 @@ func (c *Cluster) leaderIdx() int {
 func (c *Cluster) LeaderIndex() int { return c.leaderIdx() }
 
 // safetyViolation records an invariant breach detected during simulation.
+// Node handlers in concurrent partitions may report simultaneously, hence
+// the lock; CheckSafety sorts partitioned runs so the report order is
+// independent of partition interleaving.
 func (c *Cluster) safetyViolation(msg string) {
+	c.violationsMu.Lock()
 	c.violations = append(c.violations, msg)
+	c.violationsMu.Unlock()
 }
 
 // CheckSafety validates the paper's safety guarantee across the whole
@@ -277,7 +294,15 @@ func (c *Cluster) CheckSafety() error {
 		}
 		groups = append(groups, group)
 	}
-	return ledger.CheckConsistency("core", c.violations, ledgers, groups)
+	violations := c.violations
+	if c.Sim.NumPartitions() > 1 {
+		// Partitioned runs sort for a deterministic report: the multiset of
+		// violations is engine-independent but the arrival order is not.
+		// Single-partition runs keep the historical event order.
+		violations = append([]string(nil), violations...)
+		sort.Strings(violations)
+	}
+	return ledger.CheckConsistency("core", violations, ledgers, groups)
 }
 
 // Metrics returns the cluster's metrics collector (the scenario.Harness

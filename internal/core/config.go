@@ -99,6 +99,14 @@ type Config struct {
 	// Seed drives all simulation randomness.
 	Seed int64
 
+	// SimWorkers requests conservative parallel discrete-event execution
+	// (PDES) with this many worker goroutines. Values below 2 keep the
+	// serial engine. The cluster partitions the event queue by node group —
+	// consensus nodes, sequencers, and clients share the hub partition;
+	// organizations spread over the rest — and a parallel run is
+	// byte-identical to a serial run of the same partitioned cluster.
+	SimWorkers int
+
 	// Tracer, when non-nil, records per-transaction lifecycle spans and
 	// node/link telemetry for the whole cluster (see internal/trace). Nil
 	// disables tracing at zero cost.
@@ -170,6 +178,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: SampleVerify must be >= 0 (got %d)", c.SampleVerify)
 	case c.SeqBatchMax < 0:
 		return fmt.Errorf("core: SeqBatchMax must be >= 0 (got %d)", c.SeqBatchMax)
+	case c.SimWorkers < 0:
+		return fmt.Errorf("core: SimWorkers must be >= 0 (got %d)", c.SimWorkers)
 	}
 	switch c.Protocol {
 	case "", ProtoPBFT, ProtoHotStuff, ProtoZyzzyva, ProtoSBFT:

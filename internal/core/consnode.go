@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/consensus"
@@ -265,7 +266,7 @@ func (n *ConsNode) onSeqBatchFrom(from simnet.NodeID, m *SeqBatch) {
 			// occupied sequence number: a conflict precursor. The
 			// denylist acts on proposal-time conflicts (Def 4.1);
 			// here the first-received transaction simply wins.
-			n.c.Collector.Conflicts++
+			atomic.AddUint64(&n.c.Collector.Conflicts, 1)
 		case poolDupHash:
 			continue
 		}
@@ -495,7 +496,7 @@ func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
 		// Def 4.1 conflict detection: local Phase-2 transaction at this
 		// sequence number differs from the agreed one.
 		if local, ok := n.pool.at(s); ok && local.ID() != h {
-			n.c.Collector.Conflicts++
+			atomic.AddUint64(&n.c.Collector.Conflicts, 1)
 			if currentView {
 				n.viewConf++
 			}
@@ -539,6 +540,7 @@ func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
 			}
 		}
 		bm := &BlockMsg{Number: number, Ordering: types.EncodeOrdering(blk.seqs, blk.hashes), Cert: blk.cert}
+		bm.warmCaches()
 		if cfg.DisableMulticast {
 			n.ctx.MulticastUnicast(groupBlocks, bm)
 		} else {
@@ -559,7 +561,7 @@ func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
 	// Shepherding (§4.5): invalid payloads from the leader, or a
 	// non-trivial conflict/mismatch rate, trigger a view change.
 	if invalid > 0 {
-		n.c.Collector.RejectedTxns += uint64(invalid)
+		atomic.AddUint64(&n.c.Collector.RejectedTxns, uint64(invalid))
 		n.requestViewChangeOnce()
 	}
 	if !cfg.DisableDenylist {
@@ -625,9 +627,15 @@ func (n *ConsNode) evaluateResult(e ResultEntry) {
 	// the carried writes hash to the signed partition digest.
 	for _, r := range e.Vector {
 		n.ctx.Elapse(n.c.Cfg.Costs.MACVerify + n.c.Cfg.Costs.Hash(writesSize(r.Writes)))
-		prw := ledger.RWSet{Writes: r.Writes, Aborted: r.Aborted}
-		if prw.Digest() != r.Digest {
-			return
+		// wdOK partitions were digested from these very writes at the
+		// construction site; the defensive re-hash only runs for
+		// partitions built elsewhere. Virtual cost is charged above
+		// either way.
+		if !r.wdOK {
+			prw := ledger.RWSet{Writes: r.Writes, Aborted: r.Aborted}
+			if prw.Digest() != r.Digest {
+				return
+			}
 		}
 		if !n.c.Scheme.Verify(crypto.Identity(r.Org),
 			orgResultBytes(e.Seq, e.TxID, r.Org, r.Digest, r.Aborted, r.Inconsistent), r.Sig) {
@@ -647,11 +655,13 @@ func (n *ConsNode) evaluateResult(e ResultEntry) {
 	resultDig := (&ledger.RWSet{Writes: union, Aborted: aborted}).Digest()
 	sr := &storedResult{entry: e, vecDigest: e.VectorDigest(), consistent: consistent, resultDig: resultDig}
 	n.persisted[e.Seq] = sr
-	n.persistOut = append(n.persistOut, PersistEntry{
+	pe := PersistEntry{
 		Seq: e.Seq, TxID: e.TxID, VecDigest: sr.vecDigest,
 		Consistent: consistent, ResultDigest: resultDig,
 		Writes: union, Aborted: aborted,
-	})
+	}
+	pe.warmContentKey()
+	n.persistOut = append(n.persistOut, pe)
 	if !n.persistArm {
 		n.persistArm = true
 		n.host().After(n.c.Cfg.ResultFlushInterval, func() {
@@ -706,7 +716,7 @@ func (n *ConsNode) onFetch(from simnet.NodeID, m *FetchReq) {
 			out = append(out, types.SequencedTx{Seq: seq, Tx: tx})
 		}
 	}
-	n.c.Collector.RetransmitReqs++
+	atomic.AddUint64(&n.c.Collector.RetransmitReqs, 1)
 	if len(out) > 0 {
 		n.ctx.Send(from, &FetchResp{Txns: out})
 	}
@@ -777,11 +787,13 @@ func (n *ConsNode) onPersistFetch(from simnet.NodeID, m *PersistFetchReq) {
 		if !ok {
 			continue
 		}
-		entries = append(entries, PersistEntry{
+		pe := PersistEntry{
 			Seq: seq, TxID: sr.entry.TxID, VecDigest: sr.vecDigest,
 			Consistent: sr.consistent, ResultDigest: sr.resultDig,
 			Writes: sr.entry.Union(), Aborted: sr.entry.Aborted(),
-		})
+		}
+		pe.warmContentKey()
+		entries = append(entries, pe)
 	}
 	if len(entries) == 0 {
 		return
@@ -889,7 +901,7 @@ func (n *ConsNode) ViewChanged(view uint64, leader int, metas [][]byte) {
 	n.vcRequested = false
 	n.viewConf, n.viewMis, n.viewTotal = 0, 0, 0
 	if n.idx == 0 {
-		n.c.Collector.ViewChanges++
+		atomic.AddUint64(&n.c.Collector.ViewChanges, 1)
 	}
 
 	// Merge denylist votes: a client judged malicious by f+1 consensus
@@ -911,7 +923,7 @@ func (n *ConsNode) ViewChanged(view uint64, leader int, metas [][]byte) {
 		if len(newly) > 0 {
 			sort.Slice(newly, func(i, j int) bool { return newly[i] < newly[j] })
 			if n.idx == 0 {
-				n.c.Collector.DeniedClients += uint64(len(newly))
+				atomic.AddUint64(&n.c.Collector.DeniedClients, uint64(len(newly)))
 			}
 			upd := &DenyUpdate{Node: n.idx, Clients: newly}
 			upd.Sig = n.Sign(denySigningBytes(n.idx, newly))

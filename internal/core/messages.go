@@ -100,12 +100,23 @@ func (m *BlockMsg) Size() int {
 // shared by all receivers and immutable in flight, the SHA-256 is computed
 // once instead of once per node. (The virtual CPU cost each node charges for
 // the check is unchanged — this only removes redundant host work.)
+//
+// Like every lazy cache on a multicast message, it must be warmed by the
+// sender (warmCaches) before dissemination: receivers in different PDES
+// partitions read the shared object concurrently.
 func (m *BlockMsg) OrderingDig() crypto.Digest {
 	if !m.hasODig {
 		m.oDig = types.OrderingDigest(m.Ordering)
 		m.hasODig = true
 	}
 	return m.oDig
+}
+
+// warmCaches fills the lazy size/digest caches before the block is shared
+// across partitions.
+func (m *BlockMsg) warmCaches() {
+	m.Size()
+	m.OrderingDig()
 }
 
 // OrgResult is one organization's signed execution result for a transaction
@@ -121,6 +132,13 @@ type OrgResult struct {
 	Aborted      bool
 	Inconsistent bool
 	Sig          crypto.Signature
+
+	// wdOK marks that Digest was derived from Writes/Aborted at the one
+	// honest construction site (makeOrgResult), letting receivers skip the
+	// defensive write-set re-hash. Any partition built elsewhere (tests,
+	// crafted messages) leaves it false and still gets fully re-checked;
+	// virtual hash cost is charged either way.
+	wdOK bool
 }
 
 // orgResultBytes is what the delegate signs; the digest covers the writes
@@ -179,6 +197,12 @@ type ResultEntry struct {
 	Seq    uint64
 	TxID   types.TxID
 	Vector []OrgResult
+
+	// vd caches VectorDigest, warmed by the delegate that assembles the
+	// vector (never lazily by receivers: a ResultMsg's entries slice is
+	// shared across consensus nodes, possibly in different PDES partitions).
+	vd   crypto.Digest
+	vdOK bool
 }
 
 // Consistent reports whether no organization flagged non-determinism.
@@ -215,6 +239,9 @@ func (e *ResultEntry) Union() []ledger.Write {
 
 // VectorDigest canonically hashes the vector for persist matching.
 func (e *ResultEntry) VectorDigest() crypto.Digest {
+	if e.vdOK {
+		return e.vd
+	}
 	parts := make([][]byte, 0, len(e.Vector)*3+1)
 	parts = append(parts, e.TxID[:])
 	for _, r := range e.Vector {
@@ -228,6 +255,12 @@ func (e *ResultEntry) VectorDigest() crypto.Digest {
 		parts = append(parts, []byte(r.Org), r.Digest[:], []byte{flags})
 	}
 	return crypto.HashAll(parts...)
+}
+
+// warmVectorDigest fills the VectorDigest cache; the assembling delegate
+// calls it once so every consensus node skips the re-hash.
+func (e *ResultEntry) warmVectorDigest() {
+	e.vd, e.vdOK = e.VectorDigest(), true
 }
 
 // Size implements simnet.Message.
@@ -271,12 +304,24 @@ type PersistEntry struct {
 	ResultDigest crypto.Digest
 	Writes       []ledger.Write
 	Aborted      bool
+
+	// ck caches contentKey. It is filled by the sender (warmContentKey)
+	// before the entry is shared, never lazily by receivers: a multicast
+	// batch is read by every org delegate, possibly from different PDES
+	// partitions concurrently.
+	ck   crypto.Digest
+	ckOK bool
 }
 
 // contentKey digests the entry's full content; normal nodes count PERSIST
 // votes per content key so that 2f+1 votes imply f+1 honest nodes vouch for
-// every field, not just the vector digest.
+// every field, not just the vector digest. The cache is sound even against
+// a byzantine sender: it memoizes a pure function of the entry's fields, so
+// a warmed key always matches what the receiver would have computed.
 func (e *PersistEntry) contentKey() crypto.Digest {
+	if e.ckOK {
+		return e.ck
+	}
 	rw := ledger.RWSet{Writes: e.Writes, Aborted: e.Aborted}
 	wd := rw.Digest()
 	flags := byte(0)
@@ -284,6 +329,12 @@ func (e *PersistEntry) contentKey() crypto.Digest {
 		flags |= 1
 	}
 	return crypto.HashAll(e.TxID[:], e.VecDigest[:], e.ResultDigest[:], wd[:], []byte{flags})
+}
+
+// warmContentKey fills the contentKey cache; senders call it once per entry
+// so the O(consensus × orgs) receivers skip the write-set hash entirely.
+func (e *PersistEntry) warmContentKey() {
+	e.ck, e.ckOK = e.contentKey(), true
 }
 
 // persistSigningBytes covers the batch content.

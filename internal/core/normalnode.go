@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/contract"
@@ -35,13 +37,62 @@ type vectorBuild struct {
 }
 
 // persistStatus tracks PERSIST quorum formation for one sequence number.
+// Honest runs see exactly one content key per sequence, so votes for the
+// first-seen key are a bitmask of consensus-node indices; a diverging key
+// (byzantine sender) or a node index ≥ 64 spills to the generic map.
 type persistStatus struct {
-	votes      map[crypto.Digest]map[int]bool
+	key0       crypto.Digest
+	haveKey0   bool
+	votes0     uint64
+	spill      map[crypto.Digest]map[int]bool
 	persisted  bool
 	consistent bool
 	resultDig  crypto.Digest
 	writes     []ledger.Write
 	aborted    bool
+}
+
+// vote records node's vote for key and returns how many distinct nodes have
+// voted for that key so far. Nodes in [0,64) voting for the first-seen key
+// never allocate; everything else lands in the spill map.
+func (ps *persistStatus) vote(key crypto.Digest, node int) int {
+	if !ps.haveKey0 {
+		ps.key0, ps.haveKey0 = key, true
+	}
+	if key == ps.key0 && 0 <= node && node < 64 {
+		ps.votes0 |= 1 << uint(node)
+	} else {
+		if ps.spill == nil {
+			ps.spill = make(map[crypto.Digest]map[int]bool)
+		}
+		set := ps.spill[key]
+		if set == nil {
+			set = make(map[int]bool)
+			ps.spill[key] = set
+		}
+		set[node] = true
+	}
+	n := len(ps.spill[key])
+	if key == ps.key0 {
+		n += bits.OnesCount64(ps.votes0)
+	}
+	return n
+}
+
+// voteCounts returns the per-key vote tallies (diagnostics only; spill-map
+// order is unspecified).
+func (ps *persistStatus) voteCounts() []int {
+	var out []int
+	if ps.haveKey0 {
+		out = append(out, bits.OnesCount64(ps.votes0)+len(ps.spill[ps.key0]))
+	}
+	for k, set := range ps.spill {
+		if ps.haveKey0 && k == ps.key0 {
+			continue
+		}
+		out = append(out, len(set))
+	}
+	return out
 }
 
 // pendingBlock is an agreed block a normal node is working through.
@@ -200,9 +251,10 @@ func (n *NormalNode) DebugVotes(seq uint64) string {
 	if ps == nil {
 		return "no status"
 	}
-	out := fmt.Sprintf("persisted=%v keys=%d:", ps.persisted, len(ps.votes))
-	for _, set := range ps.votes {
-		out += fmt.Sprintf(" %d", len(set))
+	counts := ps.voteCounts()
+	out := fmt.Sprintf("persisted=%v keys=%d:", ps.persisted, len(counts))
+	for _, c := range counts {
+		out += fmt.Sprintf(" %d", c)
 	}
 	return out
 }
@@ -462,7 +514,7 @@ func (n *NormalNode) executeSpec(seq uint64, tx *types.Transaction) {
 		sr.orgRes = &res
 	}
 	n.spec[seq] = sr
-	n.c.Collector.Speculated++
+	atomic.AddUint64(&n.c.Collector.Speculated, 1)
 	if tr := n.c.tracer; tr != nil && n.isDelegate() &&
 		orgIndex(tx.CorrespondingOrg()) == n.org {
 		tr.TxStage(tx.ID(), trace.StageExecuted, int(n.ep.ID()), n.ctx.Now())
@@ -499,7 +551,7 @@ func (n *NormalNode) makeOrgResult(seq uint64, tx *types.Transaction, rw *ledger
 		panic(err)
 	}
 	return OrgResult{Org: n.orgName, Digest: d1, Writes: part,
-		Aborted: rw.Aborted, Inconsistent: inconsistent, Sig: sig}
+		Aborted: rw.Aborted, Inconsistent: inconsistent, Sig: sig, wdOK: true}
 }
 
 // routeOrgResult sends a signed partition to the corresponding org's
@@ -531,7 +583,7 @@ func (n *NormalNode) overlayApply(rw *ledger.RWSet) {
 // Discarded speculative results count as re-executions: the same
 // transactions run again from the reset point.
 func (n *NormalNode) specReset() {
-	n.c.Collector.Reexecuted += uint64(len(n.spec))
+	atomic.AddUint64(&n.c.Collector.Reexecuted, uint64(len(n.spec)))
 	n.overlay.Discard()
 	n.spec = make(map[uint64]*specResult)
 	if lo, ok := n.lowestPooled(); ok {
@@ -603,6 +655,7 @@ func (n *NormalNode) tryFinishVector(tx *types.Transaction, vb *vectorBuild) {
 	for _, o := range orgs {
 		entry.Vector = append(entry.Vector, vb.got[o])
 	}
+	entry.warmVectorDigest()
 	n.resultOut = append(n.resultOut, entry)
 	n.armFlush()
 }
@@ -700,20 +753,13 @@ func (n *NormalNode) onPersist(from simnet.NodeID, m *PersistMsg) {
 		}
 		ps := n.persist[e.Seq]
 		if ps == nil {
-			ps = &persistStatus{votes: make(map[crypto.Digest]map[int]bool)}
+			ps = &persistStatus{}
 			n.persist[e.Seq] = ps
 		}
 		if ps.persisted {
 			continue
 		}
-		key := e.contentKey()
-		set := ps.votes[key]
-		if set == nil {
-			set = make(map[int]bool)
-			ps.votes[key] = set
-		}
-		set[m.Node] = true
-		if len(set) >= n.c.Cfg.quorum() {
+		if ps.vote(e.contentKey(), m.Node) >= n.c.Cfg.quorum() {
 			ps.persisted = true
 			ps.consistent = e.Consistent
 			ps.resultDig = e.ResultDigest
@@ -764,7 +810,7 @@ func (n *NormalNode) onBlock(m *BlockMsg) {
 		// is hash-unique) or a different transaction occupies the slot
 		// while the agreed payload is known via a previous fetch.
 		if occ, ok := n.pool.at(seqs[i]); ok && occ.ID() != h {
-			n.c.Collector.Conflicts++
+			atomic.AddUint64(&n.c.Collector.Conflicts, 1)
 		}
 	}
 	n.blockBuf[m.Number] = &pendingBlock{
@@ -864,7 +910,7 @@ func (n *NormalNode) tryCommitBlock(pb *pendingBlock) bool {
 			}
 		}
 		if clean {
-			n.c.Collector.SpecMatched += uint64(len(related))
+			atomic.AddUint64(&n.c.Collector.SpecMatched, uint64(len(related)))
 		} else {
 			n.specReset()
 			for _, re := range related {
@@ -882,7 +928,7 @@ func (n *NormalNode) tryCommitBlock(pb *pendingBlock) bool {
 					sr.orgRes = &res
 				}
 				n.spec[re.seq] = sr
-				n.c.Collector.Reexecuted++
+				atomic.AddUint64(&n.c.Collector.Reexecuted, 1)
 				if needResult {
 					n.routeOrgResult(re.seq, re.tx, res)
 				}
@@ -932,7 +978,7 @@ func (n *NormalNode) tryCommitBlock(pb *pendingBlock) bool {
 			} else {
 				aborted = true
 				if !ps.consistent {
-					n.c.Collector.NondetAborts++
+					atomic.AddUint64(&n.c.Collector.NondetAborts, 1)
 				}
 			}
 		}
@@ -1047,7 +1093,7 @@ func (n *NormalNode) armPersistRetry() {
 				}
 			}
 			if len(stalled) > 0 {
-				n.c.Collector.RetransmitReqs++
+				atomic.AddUint64(&n.c.Collector.RetransmitReqs, 1)
 				n.flushResults()
 				for _, cn := range n.c.ConsNodes {
 					c2.Send(cn.ep.ID(), &PersistFetchReq{Seqs: stalled})

@@ -145,7 +145,7 @@ func (s *SequencerNode) garbageTxn(size int) *types.Transaction {
 	if pad < 0 {
 		pad = 0
 	}
-	return &types.Transaction{
+	t := &types.Transaction{
 		Client:   "forged-client",
 		Nonce:    s.grng.Uint64(),
 		Contract: "smallbank",
@@ -155,4 +155,8 @@ func (s *SequencerNode) garbageTxn(size int) *types.Transaction {
 		Padding:  uint32(pad),
 		Sig:      junk,
 	}
+	// Pre-fill the lazy caches before the transaction leaves this node's
+	// partition (see Transaction.Warm).
+	t.Warm()
+	return t
 }

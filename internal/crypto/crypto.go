@@ -20,6 +20,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"sync"
 )
 
@@ -139,10 +140,16 @@ func (s *Ed25519Scheme) PublicKey(id Identity) ed25519.PublicKey {
 
 // HMACScheme implements Scheme with HMAC-SHA256 tags. See the package
 // comment for the trust caveat: this is a simulation-only stand-in.
+//
+// Keyed HMAC states are recycled through a per-identity sync.Pool: hmac.New
+// costs three allocations and two key-block hashes, and on the hot path the
+// same few identities sign/verify once per message. Pools are safe for the
+// PDES engine's concurrent partitions.
 type HMACScheme struct {
 	mu     sync.RWMutex
 	master [32]byte
 	keys   map[Identity][]byte
+	macs   map[Identity]*sync.Pool
 }
 
 // NewHMACScheme creates a scheme whose per-identity secrets derive from seed.
@@ -150,6 +157,7 @@ func NewHMACScheme(seed []byte) *HMACScheme {
 	return &HMACScheme{
 		master: sha256.Sum256(seed),
 		keys:   make(map[Identity][]byte),
+		macs:   make(map[Identity]*sync.Pool),
 	}
 }
 
@@ -162,19 +170,24 @@ func (s *HMACScheme) Register(id Identity) {
 	}
 	k := HashAll(s.master[:], []byte("hmac-key"), []byte(id))
 	s.keys[id] = k[:]
+	key := k[:]
+	s.macs[id] = &sync.Pool{New: func() interface{} { return hmac.New(sha256.New, key) }}
 }
 
 // Sign implements Scheme.
 func (s *HMACScheme) Sign(id Identity, msg []byte) (Signature, error) {
 	s.mu.RLock()
-	key, ok := s.keys[id]
+	pool, ok := s.macs[id]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("crypto: unknown identity %q", id)
 	}
-	mac := hmac.New(sha256.New, key)
+	mac := pool.Get().(hash.Hash)
+	mac.Reset()
 	mac.Write(msg)
-	return Signature(mac.Sum(nil)), nil
+	tag := mac.Sum(make([]byte, 0, sha256.Size))
+	pool.Put(mac)
+	return Signature(tag), nil
 }
 
 // Verify implements Scheme.

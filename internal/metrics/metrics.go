@@ -14,8 +14,12 @@ import (
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
-// Collector accumulates measurements. It is used from inside the
-// single-threaded simulation loop and needs no locking.
+// Collector accumulates measurements. The transaction maps and latency
+// cache are touched only from client endpoints, which all execute in the
+// simulation's hub partition (one goroutine), so they need no locking. The
+// plain uint64 counters are incremented from node handlers that may execute
+// in concurrent partitions under the parallel engine: those sites use
+// atomic.AddUint64, which is commutative and therefore deterministic.
 type Collector struct {
 	submitted map[types.TxID]time.Duration
 	committed map[types.TxID]time.Duration

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -93,11 +94,14 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 }
 
 // Registry is a named-metric store: monotonic counters and duration
-// histograms. It replaces both the collector's ad-hoc phase maps and the
-// write-only atomic debug counters that used to live in internal/core: every
-// simulation (and every sweep point of the parallel runner) owns a private
-// registry, so increments need no atomics and never race.
+// histograms. Every simulation (and every sweep point of the parallel
+// runner) owns a private registry; a mutex guards the maps because the
+// parallel simulation engine increments from concurrent partitions. Counter
+// adds and histogram merges are commutative — sums, counts, min/max — so the
+// final values are independent of partition interleaving and a parallel run
+// reports byte-identical metrics to a serial one.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]uint64
 	hists    map[string]*Histogram
 }
@@ -111,13 +115,23 @@ func NewRegistry() *Registry {
 }
 
 // Inc adds delta to the named counter.
-func (r *Registry) Inc(name string, delta uint64) { r.counters[name] += delta }
+func (r *Registry) Inc(name string, delta uint64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
 
 // Counter returns the named counter's value (0 if never incremented).
-func (r *Registry) Counter(name string) uint64 { return r.counters[name] }
+func (r *Registry) Counter(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
 
 // CounterNames returns all counter names, sorted.
 func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.counters))
 	for n := range r.counters {
 		out = append(out, n)
@@ -126,21 +140,33 @@ func (r *Registry) CounterNames() []string {
 	return out
 }
 
-// Observe records a duration sample into the named histogram.
+// Observe records a duration sample into the named histogram. The sample is
+// folded in under the registry lock: histogram accumulation is commutative,
+// so concurrent partitions may interleave freely without affecting the
+// reported values.
 func (r *Registry) Observe(name string, d time.Duration) {
+	r.mu.Lock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
 		r.hists[name] = h
 	}
 	h.Observe(d)
+	r.mu.Unlock()
 }
 
 // Histogram returns the named histogram, or nil if nothing was observed.
-func (r *Registry) Histogram(name string) *Histogram { return r.hists[name] }
+// The returned histogram must only be read once the simulation is quiescent.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hists[name]
+}
 
 // HistogramNames returns all histogram names, sorted.
 func (r *Registry) HistogramNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.hists))
 	for n := range r.hists {
 		out = append(out, n)

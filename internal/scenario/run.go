@@ -50,6 +50,11 @@ type RunConfig struct {
 	// simulation finishes (before the safety audit) — for tests and
 	// embedders that need framework-specific state such as ledger digests.
 	Observe func(Harness)
+	// ForceSerialSim pins the serial simulation engine even when the spec
+	// requests sim_workers — the byte-identity reference for the PDES
+	// determinism tests. The cluster is still partitioned identically, so
+	// the two engines execute the exact same event sequence.
+	ForceSerialSim bool
 }
 
 // Run executes the scenario and returns its result. The only error source
@@ -88,11 +93,13 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 		cfg := s.bidlConfig()
 		cfg.Tracer = rc.Tracer
 		bc = core.NewCluster(cfg)
+		bc.Sim.ForceSerial(rc.ForceSerialSim)
 		h, orgs = bc, cfg.NumOrgs
 	} else {
 		cfg := s.fabricConfig()
 		cfg.Tracer = rc.Tracer
 		fc = fabric.NewCluster(cfg)
+		fc.Sim.ForceSerial(rc.ForceSerialSim)
 		h, orgs = fc, cfg.NumOrgs
 	}
 
@@ -252,7 +259,18 @@ func (s Scenario) bidlConfig() core.Config {
 	if s.Costs != nil {
 		cfg.Costs = *s.Costs
 	}
+	cfg.SimWorkers = s.effectiveSimWorkers()
 	return cfg
+}
+
+// effectiveSimWorkers resolves the PDES concurrency for the compiled
+// config. Attack scenarios are pinned to the serial engine: adversaries
+// mutate cluster state mid-run from outside the partition discipline.
+func (s Scenario) effectiveSimWorkers() int {
+	if s.Attack.Kind != "" {
+		return 0
+	}
+	return s.SimWorkers
 }
 
 // fabricVariant maps the framework name onto the baseline variant.
@@ -310,6 +328,7 @@ func (s Scenario) fabricConfig() fabric.Config {
 	if s.Costs != nil {
 		cfg.Costs = *s.Costs
 	}
+	cfg.SimWorkers = s.effectiveSimWorkers()
 	return cfg
 }
 
@@ -388,6 +407,9 @@ func (s Scenario) Validate() error {
 	}
 	if n := s.Nodes; n.Orgs < 0 || n.PerOrg < 0 || n.Consensus < 0 || n.Faults < 0 || n.Datacenters < 0 {
 		return fmt.Errorf("scenario: node counts must be >= 0 (%+v)", n)
+	}
+	if s.SimWorkers < 0 || s.SimWorkers > simnet.MaxPartitions {
+		return fmt.Errorf("scenario: sim_workers must be in [0,%d] (got %d)", simnet.MaxPartitions, s.SimWorkers)
 	}
 
 	if s.Load.Window <= 0 {

@@ -96,6 +96,12 @@ type Scenario struct {
 	Protocol string `json:"protocol,omitempty"`
 	// Seed drives all simulation and workload randomness (default 1).
 	Seed int64 `json:"seed,omitempty"`
+	// SimWorkers requests conservative parallel discrete-event execution
+	// with this many worker goroutines (zero or one means the serial
+	// engine). A parallel run is byte-identical to a serial run at the same
+	// seed, so this is purely a wall-clock knob. Scenarios with an attack
+	// armed always run serially: adversaries mutate cluster state mid-run.
+	SimWorkers int `json:"sim_workers,omitempty"`
 
 	// Nodes sizes the cluster.
 	Nodes NodesSpec `json:"nodes,omitempty"`

@@ -60,6 +60,7 @@ type Endpoint struct {
 	id      NodeID
 	name    string
 	dc      int
+	part    int
 	net     *Network
 	handler Handler
 
@@ -84,6 +85,12 @@ type Endpoint struct {
 	egressFree time.Duration
 
 	stats EndpointStats
+	// xdrop counts sender-side drops (loss, drop filters) charged to this
+	// endpoint by each sending partition. Sender-side drop accounting is the
+	// one place a remote partition touches a destination endpoint, so it
+	// gets a per-sender-partition cell instead of a racy shared counter;
+	// Stats folds the cells back into Dropped. Nil when single-partitioned.
+	xdrop []uint64
 }
 
 // ID returns the endpoint's node ID.
@@ -95,8 +102,17 @@ func (e *Endpoint) Name() string { return e.name }
 // DC returns the datacenter index the endpoint lives in.
 func (e *Endpoint) DC() int { return e.dc }
 
+// Partition returns the simulation partition the endpoint executes in.
+func (e *Endpoint) Partition() int { return e.part }
+
 // Stats returns a copy of the endpoint's counters.
-func (e *Endpoint) Stats() EndpointStats { return e.stats }
+func (e *Endpoint) Stats() EndpointStats {
+	st := e.stats
+	for _, d := range e.xdrop {
+		st.Dropped += d
+	}
+	return st
+}
 
 // SetDown marks the endpoint crashed (true) or alive (false). A crashed
 // endpoint silently drops all deliveries, including its own timers.
@@ -104,6 +120,15 @@ func (e *Endpoint) SetDown(down bool) { e.down = down }
 
 // QueueLen reports the inbox backlog (for monitoring/backpressure tests).
 func (e *Endpoint) QueueLen() int { return len(e.queue) - e.qHead }
+
+// netCounters is one partition's share of the network-wide traffic
+// accounting, padded so concurrent partitions never share a cache line.
+type netCounters struct {
+	messages uint64
+	bytes    uint64
+	interDC  uint64
+	_        [40]byte
+}
 
 // Network connects endpoints according to a Topology.
 type Network struct {
@@ -113,13 +138,15 @@ type Network struct {
 	groups    map[string][]NodeID
 
 	// pipeFree tracks when the shared inter-DC pipe for an ordered DC pair
-	// becomes free; keyed by fromDC*4096+toDC.
+	// becomes free; keyed by fromDC*4096+toDC. A non-zero InterDCBandwidth
+	// forces the serial engine (the pipe is global state), so the map is
+	// never touched concurrently.
 	pipeFree map[int]time.Duration
 
 	// mcPipeDone and mcSeenDC are scratch maps reused across multicastSend
-	// calls so a fan-out allocates no per-call maps. Safe because
-	// multicastSend runs synchronously inside a single activation (never
-	// re-entered) and the maps are only probed by key, never iterated.
+	// calls so a fan-out allocates no per-call maps. They are only touched
+	// under features that force the serial engine (tracing, inter-DC pipes),
+	// where a single activation owns them end to end.
 	mcPipeDone map[int]time.Duration
 	mcSeenDC   map[int]bool
 
@@ -132,26 +159,48 @@ type Network struct {
 	// (targeted partition/censorship scenarios). Return true to drop.
 	DropFilter func(from, to NodeID, msg Message) bool
 
-	totalMessages uint64
-	totalBytes    uint64
-	interDCBytes  uint64
+	// counters holds per-partition traffic totals, indexed by the sending
+	// partition and summed on read, so parallel partitions account traffic
+	// without sharing a counter.
+	counters []netCounters
 
 	// tracer, when non-nil, receives node/link telemetry from the hot
 	// paths. Every hook is guarded by a nil check so disabled tracing adds
-	// zero allocations (TestUntracedDeliveryAllocs pins this).
+	// zero allocations; an attached tracer also zeroes the PDES lookahead,
+	// pinning the run to the serial engine (trace streams are strictly
+	// time-ordered).
 	tracer *trace.Tracer
 }
 
 // NewNetwork creates a network over the given simulator and topology.
+// Partitioning must already be configured on the simulator (SetPartitions):
+// the network sizes its per-partition accounting and installs the
+// conservative-PDES lookahead bound here.
 func NewNetwork(sim *Sim, topo Topology) *Network {
-	return &Network{
+	n := &Network{
 		sim:        sim,
 		topo:       topo,
 		groups:     make(map[string][]NodeID),
 		pipeFree:   make(map[int]time.Duration),
 		mcPipeDone: make(map[int]time.Duration),
 		mcSeenDC:   make(map[int]bool),
+		counters:   make([]netCounters, sim.NumPartitions()),
 	}
+	sim.SetLookahead(n.lookaheadBound)
+	return n
+}
+
+// lookaheadBound is the minimum delay separating a send from its delivery
+// across any endpoint pair — the conservative-PDES window size. Features
+// that either bypass the propagation-delay floor (latency overrides), keep
+// global mutable state (inter-DC pipes), possibly keep adversarial state
+// (drop filters), or require a single time-ordered stream (tracing) return
+// zero, which pins the simulation to the serial engine.
+func (n *Network) lookaheadBound() time.Duration {
+	if n.tracer != nil || n.LatencyOverride != nil || n.DropFilter != nil || n.topo.InterDCBandwidth > 0 {
+		return 0
+	}
+	return n.topo.MinLatency()
 }
 
 // Sim returns the underlying simulator.
@@ -180,25 +229,59 @@ func (n *Network) SetTracer(t *trace.Tracer) {
 func (n *Network) Tracer() *trace.Tracer { return n.tracer }
 
 // TotalMessages reports how many messages have been accepted for delivery.
-func (n *Network) TotalMessages() uint64 { return n.totalMessages }
+func (n *Network) TotalMessages() uint64 {
+	var v uint64
+	for i := range n.counters {
+		v += n.counters[i].messages
+	}
+	return v
+}
 
 // TotalBytes reports the total bytes accepted for delivery.
-func (n *Network) TotalBytes() uint64 { return n.totalBytes }
+func (n *Network) TotalBytes() uint64 {
+	var v uint64
+	for i := range n.counters {
+		v += n.counters[i].bytes
+	}
+	return v
+}
 
 // InterDCBytes reports bytes that crossed datacenter boundaries.
-func (n *Network) InterDCBytes() uint64 { return n.interDCBytes }
+func (n *Network) InterDCBytes() uint64 {
+	var v uint64
+	for i := range n.counters {
+		v += n.counters[i].interDC
+	}
+	return v
+}
 
-// Register adds an endpoint in datacenter dc with the given handler and
-// returns it. If the handler implements Starter, OnStart fires at time zero.
+// Register adds an endpoint in datacenter dc (partition 0) with the given
+// handler and returns it. If the handler implements Starter, OnStart fires
+// at time zero.
 func (n *Network) Register(name string, dc int, h Handler) *Endpoint {
-	e := &Endpoint{id: NodeID(len(n.endpoints)), name: name, dc: dc, net: n, handler: h}
+	return n.RegisterPart(name, dc, 0, h)
+}
+
+// RegisterPart adds an endpoint in datacenter dc, executing in simulation
+// partition part. Cluster builders assign the hub partition (0) to nodes
+// that share mid-run state (consensus, sequencers, clients) and spread the
+// independent bulk (normal nodes, peers) over the remaining partitions.
+func (n *Network) RegisterPart(name string, dc, part int, h Handler) *Endpoint {
+	if part < 0 || part >= n.sim.NumPartitions() {
+		panic(fmt.Sprintf("simnet: RegisterPart(%q, part=%d) outside the simulator's %d partitions (call Sim.SetPartitions before NewNetwork)",
+			name, part, n.sim.NumPartitions()))
+	}
+	e := &Endpoint{id: NodeID(len(n.endpoints)), name: name, dc: dc, part: part, net: n, handler: h}
 	e.procFn = e.processNext
+	if n.sim.NumPartitions() > 1 {
+		e.xdrop = make([]uint64, n.sim.NumPartitions())
+	}
 	n.endpoints = append(n.endpoints, e)
 	if n.tracer != nil {
 		n.tracer.RegisterNode(int(e.id), name, dc)
 	}
 	if s, ok := h.(Starter); ok {
-		n.sim.At(0, func() {
+		n.sim.schedTimer(part, 0, func() {
 			if e.down {
 				return
 			}
@@ -243,6 +326,19 @@ func (n *Network) Leave(group string, id NodeID) {
 // Group returns the members of a multicast group.
 func (n *Network) Group(group string) []NodeID { return n.groups[group] }
 
+// dropAt charges a sender-side drop of a message bound for dst observed at
+// virtual time at, attributed to the sending partition fromPart.
+func (n *Network) dropAt(dst *Endpoint, fromPart int, at time.Duration) {
+	if fromPart == dst.part || dst.xdrop == nil {
+		dst.stats.Dropped++
+	} else {
+		dst.xdrop[fromPart]++
+	}
+	if n.tracer != nil {
+		n.tracer.Dropped(int(dst.id), at)
+	}
+}
+
 // send schedules msg from 'from' to 'to', departing at depart.
 // unicastSerialize indicates the sender pays NIC serialization for this copy
 // (true for unicast and for the single multicast emission).
@@ -252,8 +348,9 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 		panic(fmt.Sprintf("simnet: send to unknown endpoint %d", to))
 	}
 	size := msg.Size()
-	n.totalMessages++
-	n.totalBytes += uint64(size)
+	ctr := &n.counters[from.part]
+	ctr.messages++
+	ctr.bytes += uint64(size)
 	from.stats.Sent++
 	from.stats.BytesSent += uint64(size)
 
@@ -274,18 +371,13 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 	}
 
 	if n.DropFilter != nil && n.DropFilter(from.id, to, msg) {
-		dst.stats.Dropped++
-		if n.tracer != nil {
-			n.tracer.Dropped(int(dst.id), txDone)
-		}
+		n.dropAt(dst, from.part, txDone)
 		return
 	}
-	// Random loss, independent per receiver.
-	if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
-		dst.stats.Dropped++
-		if n.tracer != nil {
-			n.tracer.Dropped(int(dst.id), txDone)
-		}
+	// Random loss, independent per receiver, drawn from the sending
+	// partition's stream.
+	if n.topo.LossRate > 0 && n.sim.partRng(from.part).Float64() < n.topo.LossRate {
+		n.dropAt(dst, from.part, txDone)
 		return
 	}
 
@@ -293,7 +385,7 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 
 	// Shared inter-DC pipe serialization.
 	if from.dc != dst.dc {
-		n.interDCBytes += uint64(size)
+		ctr.interDC += uint64(size)
 		if n.topo.InterDCBandwidth > 0 {
 			key := from.dc*4096 + dst.dc
 			start := txDone
@@ -306,11 +398,9 @@ func (n *Network) send(from *Endpoint, to NodeID, msg Message, depart time.Durat
 		}
 	}
 
-	// at and fromID are fresh single-assignment locals so the closure
-	// captures everything by value: the whole delivery costs exactly one
-	// allocation (the closure itself), pinned by TestUntracedDeliveryAllocs.
-	at, fromID := arrive, from.id
-	n.sim.At(at, func() { n.deliver(dst, fromID, msg, at, size) })
+	// Deliveries are inlined events (no closure): the steady-state unicast
+	// path allocates nothing, pinned by TestUntracedDeliveryAllocs.
+	n.sim.schedDelivery(from.part, arrive, dst, from.id, msg, size)
 }
 
 // deliver lands a message at its destination at virtual time 'at': the shared
@@ -348,12 +438,15 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 	}
 	from.stats.Sent++
 	from.stats.BytesSent += uint64(size)
-	n.totalMessages += uint64(len(targets))
-	n.totalBytes += uint64(size)
+	ctr := &n.counters[from.part]
+	ctr.messages += uint64(len(targets))
+	ctr.bytes += uint64(size)
 	if n.tracer != nil {
 		n.tracer.Sent(int(from.id), depart, size)
 		// One wire crossing per destination datacenter (the router
 		// replicates the payload), mirroring the pipe accounting below.
+		// Tracing forces the serial engine, so the shared scratch map is
+		// owned by this activation.
 		seenDC := n.mcSeenDC
 		clear(seenDC)
 		for _, t := range targets {
@@ -364,10 +457,13 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 		}
 	}
 
-	// Pay each inter-DC pipe once.
-	pipeDone := n.mcPipeDone
-	clear(pipeDone)
+	// Pay each inter-DC pipe once. pipeDone stays nil on the fast path
+	// (unlimited inter-DC bandwidth): lookups on a nil map are legal, and
+	// the shared scratch map is only touched under the serial engine.
+	var pipeDone map[int]time.Duration
 	if n.topo.InterDCBandwidth > 0 {
+		pipeDone = n.mcPipeDone
+		clear(pipeDone)
 		seen := n.mcSeenDC
 		clear(seen)
 		for _, t := range targets {
@@ -384,13 +480,13 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 			done := start + time.Duration(float64(size)/float64(n.topo.InterDCBandwidth)*float64(time.Second))
 			n.pipeFree[key] = done
 			pipeDone[dst.dc] = done
-			n.interDCBytes += uint64(size)
+			ctr.interDC += uint64(size)
 		}
 	} else {
 		for _, t := range targets {
 			dst := n.Endpoint(t)
 			if dst != nil && dst.dc != from.dc {
-				n.interDCBytes += uint64(size)
+				ctr.interDC += uint64(size)
 			}
 		}
 	}
@@ -404,28 +500,19 @@ func (n *Network) multicastSend(from *Endpoint, targets []NodeID, msg Message, d
 			continue
 		}
 		if n.DropFilter != nil && n.DropFilter(from.id, t, msg) {
-			dst.stats.Dropped++
-			if n.tracer != nil {
-				n.tracer.Dropped(int(dst.id), txDone)
-			}
+			n.dropAt(dst, from.part, txDone)
 			continue
 		}
-		if n.topo.LossRate > 0 && n.sim.rng.Float64() < n.topo.LossRate {
-			dst.stats.Dropped++
-			if n.tracer != nil {
-				n.tracer.Dropped(int(dst.id), txDone)
-			}
+		if n.topo.LossRate > 0 && n.sim.partRng(from.part).Float64() < n.topo.LossRate {
+			n.dropAt(dst, from.part, txDone)
 			continue
 		}
 		ready := txDone
 		if d, ok := pipeDone[dst.dc]; ok {
 			ready = d
 		}
-		// Single-assignment locals for a by-value capture: one closure
-		// allocation per receiver and nothing else.
-		at := ready + n.pathLatency(from, dst)
-		d, fromID := dst, from.id
-		n.sim.At(at, func() { n.deliver(d, fromID, msg, at, size) })
+		// One inlined delivery event per receiver and nothing else.
+		n.sim.schedDelivery(from.part, ready+n.pathLatency(from, dst), dst, from.id, msg, size)
 	}
 }
 
@@ -441,7 +528,7 @@ func (n *Network) pathLatency(from, to *Endpoint) time.Duration {
 		base = n.topo.latency(from.dc, to.dc)
 	}
 	if n.topo.Jitter > 0 {
-		base += time.Duration(n.sim.rng.Int63n(int64(n.topo.Jitter)))
+		base += time.Duration(n.sim.partRng(from.part).Int63n(int64(n.topo.Jitter)))
 	}
 	return base
 }
@@ -461,7 +548,7 @@ func (e *Endpoint) enqueue(d delivery) {
 		e.stats.MaxQueue = qlen
 	}
 	if e.net.tracer != nil {
-		e.net.tracer.Queue(int(e.id), e.net.sim.now, len(e.queue)-e.qHead)
+		e.net.tracer.Queue(int(e.id), e.net.sim.partNow(e.part), len(e.queue)-e.qHead)
 	}
 	if !e.processing {
 		e.processNext()
@@ -481,10 +568,11 @@ func (e *Endpoint) processNext() {
 	d := e.queue[e.qHead]
 	e.queue[e.qHead] = delivery{} // release the message reference
 	e.qHead++
+	now := e.net.sim.partNow(e.part)
 	ctx := &e.actCtx
-	*ctx = Context{net: e.net, node: e, start: e.net.sim.Now()}
+	*ctx = Context{net: e.net, node: e, start: now}
 	if e.down {
-		e.net.sim.At(e.net.sim.Now(), e.procFn)
+		e.net.sim.schedTimer(e.part, now, e.procFn)
 		return
 	}
 	if d.timer != nil {
@@ -496,7 +584,7 @@ func (e *Endpoint) processNext() {
 	if e.net.tracer != nil {
 		e.net.tracer.Busy(int(e.id), ctx.start, ctx.elapsed)
 	}
-	e.net.sim.After(ctx.elapsed, e.procFn)
+	e.net.sim.schedTimer(e.part, now+ctx.elapsed, e.procFn)
 }
 
 // NewInjectedContext returns a context for injecting activity into an
@@ -504,7 +592,7 @@ func (e *Endpoint) processNext() {
 // generators). The activation starts at the current virtual time and does
 // not queue behind the endpoint's core.
 func NewInjectedContext(net *Network, ep *Endpoint) *Context {
-	return &Context{net: net, node: ep, start: net.sim.Now()}
+	return &Context{net: net, node: ep, start: net.sim.partNow(ep.part)}
 }
 
 // Context is passed to handlers; it tracks virtual CPU time consumed by the
@@ -529,8 +617,9 @@ func (c *Context) Node() *Endpoint { return c.node }
 // Network returns the network.
 func (c *Context) Network() *Network { return c.net }
 
-// Rand exposes the simulation's deterministic randomness.
-func (c *Context) Rand() *rand.Rand { return c.net.sim.rng }
+// Rand exposes the deterministic randomness of the endpoint's partition
+// (partition 0's stream is the historical Sim.Rand stream).
+func (c *Context) Rand() *rand.Rand { return c.net.sim.partRng(c.node.part) }
 
 // Elapse charges d of virtual CPU time to this activation: later sends from
 // this activation depart after it, and the endpoint's next delivery is
@@ -575,7 +664,7 @@ func (c *Context) MulticastUnicast(group string, msg Message) {
 // queues like any other delivery, so a busy core delays it.
 func (c *Context) After(d time.Duration, fn func(*Context)) {
 	node := c.node
-	c.net.sim.At(c.Now()+d, func() {
+	c.net.sim.schedTimer(node.part, c.Now()+d, func() {
 		if node.down {
 			return
 		}

@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conservative parallel discrete-event execution (PDES).
+//
+// The simulation is split into partitions (SetPartitions); every endpoint,
+// its inbox, and its timers live in exactly one partition, and the network
+// guarantees that any event one partition schedules onto another lies at
+// least `lookahead` beyond the sender's clock (the minimum link propagation
+// delay — the classic null-message bound, realized here as barrier windows).
+//
+// Each window the coordinator finds the globally earliest pending event at
+// time m and releases every partition to execute its own queue up to the
+// horizon H = m + lookahead. Cross-partition schedules produced inside the
+// window land at >= m + lookahead >= H, so they cannot affect the window
+// being executed; they accumulate in per-(src,dst) outboxes that only the
+// source partition touches, and the coordinator folds them into the
+// destination heaps at the barrier. Within a partition events execute in
+// (at, seq) key order; keys are unique and assigned deterministically
+// (per-partition push counters), so the execution each partition observes —
+// and therefore every counter, table, and ledger digest — is byte-identical
+// to the serial k-way merge of the same partitioned simulation.
+type parRun struct {
+	s *Sim
+	k int
+
+	// out holds cross-partition events produced during the current window,
+	// indexed [src*k+dst]. A slice is appended to only by its source
+	// partition's worker and drained only by the coordinator at barriers, so
+	// no synchronization beyond the barrier itself is needed.
+	out []([]event)
+
+	// windowEnd is the current horizon H; written by the coordinator before
+	// releasing workers, read-only inside the window.
+	windowEnd time.Duration
+
+	stop  atomic.Bool
+	start []chan time.Duration // per-worker window release, carrying H
+	wg    sync.WaitGroup
+}
+
+// parallelOK reports whether the next Run/RunUntil should use the parallel
+// engine: concurrency requested, multiple partitions, a positive lookahead
+// bound from the network, and no serial pin.
+func (s *Sim) parallelOK() bool {
+	if s.forceSerial || s.workers < 2 || len(s.parts) < 2 || s.lookahead == nil {
+		return false
+	}
+	return s.lookahead() > 0
+}
+
+// runParallel drives bounded (RunUntil) or unbounded (Run) execution over
+// the partitioned queues with one worker goroutine per partition.
+func (s *Sim) runParallel(limit time.Duration, bounded bool) {
+	lk := s.lookahead()
+	k := len(s.parts)
+	r := &parRun{
+		s:     s,
+		k:     k,
+		out:   make([][]event, k*k),
+		start: make([]chan time.Duration, k),
+	}
+	s.stopped = false
+	s.par = r
+	for p := 0; p < k; p++ {
+		r.start[p] = make(chan time.Duration)
+		go r.worker(p)
+	}
+	for {
+		// Earliest pending event across all partitions: the next window's
+		// base. Windows therefore jump over queue gaps instead of marching
+		// in fixed lookahead steps.
+		m := time.Duration(-1)
+		for _, p := range s.parts {
+			if len(p.heap) > 0 && (m < 0 || p.heap[0].at < m) {
+				m = p.heap[0].at
+			}
+		}
+		if m < 0 || (bounded && m > limit) {
+			break
+		}
+		h := m + lk
+		if bounded && h > limit+1 {
+			// RunUntil executes events with at <= limit; timestamps are
+			// integer nanoseconds, so the half-open horizon limit+1 is both
+			// exact and still within the safe bound m + lk.
+			h = limit + 1
+		}
+		r.windowEnd = h
+		r.wg.Add(k)
+		for p := 0; p < k; p++ {
+			r.start[p] <- h
+		}
+		r.wg.Wait()
+		r.drain()
+		if r.stop.Load() {
+			s.stopped = true
+			break
+		}
+	}
+	for p := 0; p < k; p++ {
+		close(r.start[p])
+	}
+	s.par = nil
+	if bounded && !s.stopped {
+		s.now = limit
+		for _, p := range s.parts {
+			if p.now < limit {
+				p.now = limit
+			}
+		}
+	} else {
+		for _, p := range s.parts {
+			if p.now > s.now {
+				s.now = p.now
+			}
+		}
+	}
+}
+
+// worker executes partition p's events for each released window.
+func (r *parRun) worker(p int) {
+	part := r.s.parts[p]
+	for h := range r.start[p] {
+		for len(part.heap) > 0 && part.heap[0].at < h && !r.stop.Load() {
+			var e event
+			e, part.heap = heapPop(part.heap)
+			part.now = e.at
+			part.nEvents++
+			exec(&e)
+		}
+		r.wg.Done()
+	}
+}
+
+// push routes an event scheduled during a window: same-partition events go
+// straight onto the worker's own heap (they may still execute inside this
+// window); cross-partition events are buffered until the barrier.
+func (r *parRun) push(op, dp int, e event) {
+	if op == dp {
+		part := r.s.parts[op]
+		if e.at < part.now {
+			panic(fmt.Sprintf("simnet: scheduling event at %v before now %v", e.at, part.now))
+		}
+		part.heap = heapPush(part.heap, e)
+		return
+	}
+	if e.at < r.windowEnd {
+		panic(fmt.Sprintf("simnet: cross-partition event at %v violates lookahead (window end %v)", e.at, r.windowEnd))
+	}
+	r.out[op*r.k+dp] = append(r.out[op*r.k+dp], e)
+}
+
+// drain folds every outbox into its destination heap. Insertion order is
+// irrelevant: event keys are unique, so the heap's total order — not
+// arrival order — decides execution.
+func (r *parRun) drain() {
+	for i, box := range r.out {
+		if len(box) == 0 {
+			continue
+		}
+		part := r.s.parts[i%r.k]
+		for _, e := range box {
+			if e.at < part.now {
+				panic(fmt.Sprintf("simnet: drained event at %v behind partition clock %v", e.at, part.now))
+			}
+			part.heap = heapPush(part.heap, e)
+		}
+		clear(box)
+		r.out[i] = box[:0]
+	}
+}

@@ -1,0 +1,198 @@
+package simnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pingMsg is a synthetic payload for the PDES identity tests.
+type pingMsg struct {
+	hops int
+	pad  int
+}
+
+func (p pingMsg) Size() int { return 64 + p.pad }
+
+// pinger is a deterministic traffic generator: on start it fires a few
+// messages at random peers, and every received message is forwarded (with
+// random CPU cost and padding) until its hop budget runs out. All randomness
+// comes from Context.Rand — the endpoint's partition stream — so a serial
+// and a parallel run of the same partitioned network draw identically.
+type pinger struct {
+	peers []NodeID
+	seen  uint64
+	hopsx uint64
+}
+
+func (p *pinger) OnStart(ctx *Context) {
+	for i := 0; i < 3; i++ {
+		ctx.Elapse(time.Duration(ctx.Rand().Int63n(int64(20 * time.Microsecond))))
+		ctx.Send(p.peers[ctx.Rand().Intn(len(p.peers))], pingMsg{hops: 12, pad: ctx.Rand().Intn(512)})
+	}
+}
+
+func (p *pinger) OnMessage(ctx *Context, from NodeID, msg Message) {
+	m := msg.(pingMsg)
+	p.seen++
+	p.hopsx += uint64(m.hops)
+	ctx.Elapse(time.Duration(ctx.Rand().Int63n(int64(30 * time.Microsecond))))
+	if m.hops > 0 {
+		ctx.Send(p.peers[ctx.Rand().Intn(len(p.peers))], pingMsg{hops: m.hops - 1, pad: ctx.Rand().Intn(256)})
+	}
+}
+
+// runPingMesh builds a 4-partition, 2-DC mesh of pingers over a lossy,
+// jittery, bandwidth-limited topology (exercising every per-partition RNG
+// draw site), runs it with the requested engine, and returns a full-state
+// fingerprint: clocks, event counts, traffic totals, and per-endpoint stats.
+func runPingMesh(t *testing.T, seed int64, workers int, forceSerial bool, until time.Duration) string {
+	t.Helper()
+	const parts, perPart = 4, 3
+	s := NewSim(seed)
+	s.SetPartitions(parts)
+	s.SetWorkers(workers)
+	s.ForceSerial(forceSerial)
+	topo := Topology{
+		IntraLatency: 100 * time.Microsecond,
+		InterLatency: 2 * time.Millisecond,
+		Jitter:       20 * time.Microsecond,
+		LossRate:     0.02,
+		NICBandwidth: 40e9 / 8,
+	}
+	n := NewNetwork(s, topo)
+	var hs []*pinger
+	var eps []*Endpoint
+	for p := 0; p < parts; p++ {
+		for j := 0; j < perPart; j++ {
+			h := &pinger{}
+			hs = append(hs, h)
+			eps = append(eps, n.RegisterPart(fmt.Sprintf("n%d.%d", p, j), p%2, p, h))
+		}
+	}
+	all := make([]NodeID, len(eps))
+	for i, e := range eps {
+		all[i] = e.ID()
+	}
+	for _, h := range hs {
+		h.peers = all
+	}
+	if until > 0 {
+		// Exercise the bounded engine and resume semantics: two windows.
+		s.RunUntil(until / 2)
+		s.RunUntil(until)
+	} else {
+		s.Run()
+	}
+	fp := fmt.Sprintf("now=%v events=%d msgs=%d bytes=%d xdc=%d\n",
+		s.Now(), s.Events(), n.TotalMessages(), n.TotalBytes(), n.InterDCBytes())
+	for i, e := range eps {
+		fp += fmt.Sprintf("%s %+v seen=%d hopsx=%d\n", e.Name(), e.Stats(), hs[i].seen, hs[i].hopsx)
+	}
+	return fp
+}
+
+// TestParallelMatchesSerial asserts the tentpole property on the raw
+// substrate: a parallel run is byte-identical to the serial reference
+// executor over the same partitioned simulation at the same seed, for both
+// Run and windowed RunUntil execution.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		serial := runPingMesh(t, seed, 4, true, 0)
+		parallel := runPingMesh(t, seed, 4, false, 0)
+		if serial != parallel {
+			t.Fatalf("seed %d: parallel Run diverged from serial\n--- serial ---\n%s--- parallel ---\n%s", seed, serial, parallel)
+		}
+		serialU := runPingMesh(t, seed, 4, true, 40*time.Millisecond)
+		parallelU := runPingMesh(t, seed, 4, false, 40*time.Millisecond)
+		if serialU != parallelU {
+			t.Fatalf("seed %d: parallel RunUntil diverged from serial\n--- serial ---\n%s--- parallel ---\n%s", seed, serialU, parallelU)
+		}
+		if serial == serialU {
+			t.Fatal("bounded run unexpectedly identical to unbounded (window never cut anything off?)")
+		}
+	}
+}
+
+// TestParallelEngineEngages guards against the parallel path silently
+// degrading to serial: with workers > 1 the mesh must execute at least one
+// multi-partition window (observed via the rendezvous test below for true
+// concurrency; here we just pin the plumbing that selects the engine).
+func TestParallelEngineEngages(t *testing.T) {
+	s := NewSim(1)
+	s.SetPartitions(2)
+	s.SetWorkers(2)
+	n := NewNetwork(s, DefaultTopology())
+	if !s.parallelOK() {
+		t.Fatal("parallelOK = false for 2 partitions, 2 workers, positive lookahead")
+	}
+	n.SetTracer(nil)
+	s.ForceSerial(true)
+	if s.parallelOK() {
+		t.Fatal("ForceSerial did not pin the serial engine")
+	}
+	s.ForceSerial(false)
+	n.LatencyOverride = func(from, to NodeID) (time.Duration, bool) { return 0, false }
+	if s.parallelOK() {
+		t.Fatal("LatencyOverride did not zero the lookahead bound")
+	}
+}
+
+// rdvHandler participates in a two-goroutine rendezvous: it announces itself
+// on its own channel and waits (bounded) for the peer. The handshake can only
+// complete if both handlers are live at the same wall-clock moment on
+// different goroutines — the serial engine, which runs handlers one at a
+// time to completion, would time out.
+type rdvHandler struct {
+	mine, peer chan struct{}
+	ok         *atomic.Bool
+}
+
+func (h *rdvHandler) OnStart(ctx *Context) {
+	h.mine <- struct{}{}
+	select {
+	case <-h.peer:
+		h.ok.Store(true)
+	case <-time.After(5 * time.Second):
+	}
+}
+
+func (h *rdvHandler) OnMessage(*Context, NodeID, Message) {}
+
+// TestParallelGenuineConcurrency proves the engine really executes
+// partitions on concurrent goroutines: two endpoints in different partitions
+// rendezvous over unbuffered channels inside the same virtual-time window.
+// GOMAXPROCS is pinned to 1, so the handshake succeeds through goroutine
+// scheduling alone — the test is meaningful even on a 1-CPU CI container
+// (cf. TestGatherRunsConcurrently for the sweep layer).
+func TestParallelGenuineConcurrency(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	var ok atomic.Bool
+	a, b := make(chan struct{}, 1), make(chan struct{}, 1)
+	s := NewSim(1)
+	s.SetPartitions(2)
+	s.SetWorkers(2)
+	n := NewNetwork(s, DefaultTopology())
+	n.RegisterPart("a", 0, 0, &rdvHandler{mine: a, peer: b, ok: &ok})
+	n.RegisterPart("b", 0, 1, &rdvHandler{mine: b, peer: a, ok: &ok})
+	s.Run()
+	if !ok.Load() {
+		t.Fatal("handlers in different partitions never overlapped: parallel engine is not concurrent")
+	}
+}
+
+// TestCrossPartitionLookaheadPanic pins the conservative protocol's safety
+// check: a cross-partition event landing inside the open window is a
+// protocol violation and must panic rather than silently misorder.
+func TestCrossPartitionSchedulingIsDeferred(t *testing.T) {
+	// Indirect but deterministic: with the minimum link latency as
+	// lookahead, every cross-partition delivery in the mesh must satisfy
+	// arrive >= windowEnd, which drain() re-checks against the destination
+	// clock. The mesh run would panic on any violation; reaching here with
+	// identical fingerprints (TestParallelMatchesSerial) is the positive
+	// case, so this test just runs a high-traffic mesh to hammer the checks
+	// under -race.
+	runPingMesh(t, 99, 4, false, 20*time.Millisecond)
+}

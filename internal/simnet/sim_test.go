@@ -111,15 +111,116 @@ func TestDeterministicRand(t *testing.T) {
 	}
 }
 
-func TestNegativeAfterClampsToNow(t *testing.T) {
+func TestNegativeAfterPanics(t *testing.T) {
+	// After used to clamp negative delays to "now", silently reordering
+	// causality at the call site; it now panics like At's past check.
 	s := NewSim(1)
-	fired := false
-	s.After(-time.Second, func() { fired = true })
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1s) did not panic")
+		}
+	}()
+	s.After(-time.Second, func() {})
+}
+
+func TestAfterZeroBoundary(t *testing.T) {
+	// The boundary case d == 0 stays legal: the event fires at the current
+	// instant, after the currently executing event.
+	s := NewSim(1)
+	var got []int
+	s.After(time.Millisecond, func() {
+		s.After(0, func() { got = append(got, 2) })
+		got = append(got, 1)
+	})
 	s.Run()
-	if !fired {
-		t.Fatal("negative-delay event did not fire")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("After(0) misbehaved: %v", got)
 	}
-	if s.Now() != 0 {
-		t.Fatalf("clock = %v, want 0", s.Now())
+	if s.Now() != time.Millisecond {
+		t.Fatalf("clock = %v, want 1ms", s.Now())
+	}
+}
+
+func TestNegativeAfterInsideEventPanics(t *testing.T) {
+	// The same contract holds mid-run, where the old clamp was most
+	// dangerous: now is far from zero and a negative delay rewound time.
+	s := NewSim(1)
+	s.After(2*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("After(-1ms) inside an event did not panic")
+			}
+		}()
+		s.After(-time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	// Resume semantics: RunUntil must advance the clock to t even when no
+	// events exist, so a driver can idle the simulation forward and later
+	// schedules land relative to t. This is the barrier primitive the PDES
+	// coordinator leans on between windows.
+	s := NewSim(1)
+	s.RunUntil(5 * time.Millisecond)
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock = %v, want 5ms with an empty queue", s.Now())
+	}
+	fired := time.Duration(-1)
+	s.After(time.Millisecond, func() { fired = s.Now() })
+	s.RunUntil(10 * time.Millisecond)
+	if fired != 6*time.Millisecond {
+		t.Fatalf("resumed event fired at %v, want 6ms", fired)
+	}
+}
+
+func TestRunUntilEventExactlyAtBoundary(t *testing.T) {
+	// Events with at == t are inside the window (RunUntil is inclusive);
+	// at == t+1ns stays queued for the next resume.
+	s := NewSim(1)
+	var fired []time.Duration
+	s.At(5*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.At(5*time.Millisecond+time.Nanosecond, func() { fired = append(fired, s.Now()) })
+	s.RunUntil(5 * time.Millisecond)
+	if len(fired) != 1 || fired[0] != 5*time.Millisecond {
+		t.Fatalf("window [0,5ms] fired %v, want exactly the 5ms event", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want the 5ms+1ns event queued", s.Pending())
+	}
+	s.RunUntil(5*time.Millisecond + time.Nanosecond)
+	if len(fired) != 2 || fired[1] != 5*time.Millisecond+time.Nanosecond {
+		t.Fatalf("resume did not fire the boundary+1ns event: %v", fired)
+	}
+}
+
+func TestRunUntilStopMidWindowThenResume(t *testing.T) {
+	// Stop inside a bounded window halts immediately and must NOT advance
+	// the clock to t: unexecuted events remain and time cannot have passed
+	// them by. A subsequent RunUntil resumes exactly where the stop landed.
+	s := NewSim(1)
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		i := i
+		s.After(time.Duration(i)*time.Millisecond, func() {
+			fired = append(fired, i)
+			if i == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want stop after event 2", fired)
+	}
+	if s.Now() != 2*time.Millisecond {
+		t.Fatalf("clock = %v after Stop, want 2ms (not the window bound)", s.Now())
+	}
+	s.RunUntil(10 * time.Millisecond)
+	if len(fired) != 6 {
+		t.Fatalf("resume fired %v, want all six events", fired)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v, want 10ms", s.Now())
 	}
 }

@@ -8,12 +8,11 @@ import (
 )
 
 // TestUntracedDeliveryAllocs pins the allocation cost of the unicast delivery
-// path with tracing disabled at ≤1 alloc/op: the delivery closure itself.
-// The handler Context is a per-endpoint scratch, the processNext continuation
-// is bound once at registration, the inbox pops by head index, and the
-// closure captures only single-assignment locals (by value). If this number
-// grows, either a tracing hook leaked onto the disabled path or a capture
-// went by-reference again.
+// path with tracing disabled at zero: deliveries are inlined events (no
+// closure), the handler Context is a per-endpoint scratch, the processNext
+// continuation is bound once at registration, and the inbox pops by head
+// index. If this number grows, either a tracing hook leaked onto the disabled
+// path or a per-message closure crept back in.
 func TestUntracedDeliveryAllocs(t *testing.T) {
 	s := NewSim(1)
 	n := NewNetwork(s, DefaultTopology())
@@ -28,8 +27,8 @@ func TestUntracedDeliveryAllocs(t *testing.T) {
 		ctx.Send(to, msg)
 		s.Run()
 	})
-	if allocs > 1 {
-		t.Fatalf("untraced delivery = %v allocs/op, want <= 1 (tracing hook on disabled path, or by-reference closure capture?)", allocs)
+	if allocs > 0 {
+		t.Fatalf("untraced delivery = %v allocs/op, want 0 (tracing hook on disabled path, or a per-message closure crept back?)", allocs)
 	}
 }
 

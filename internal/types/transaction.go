@@ -171,6 +171,18 @@ func (t *Transaction) Sign(scheme crypto.Scheme) error {
 	return nil
 }
 
+// Warm forces the lazy caches (signing bytes, ID, wire size) to be computed
+// now. Transactions are immutable once signed, but the caches are filled on
+// first use; under the parallel simulation engine a transaction handed to
+// another partition must have them pre-computed so that two partitions never
+// race on the first fill. Cluster injection points call this before a
+// transaction crosses a partition boundary.
+func (t *Transaction) Warm() {
+	t.SigningBytes()
+	t.ID()
+	t.Size()
+}
+
 // VerifySig reports whether the client signature is valid.
 func (t *Transaction) VerifySig(scheme crypto.Scheme) bool {
 	return scheme.Verify(t.Client, t.SigningBytes(), t.Sig)
