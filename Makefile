@@ -6,7 +6,8 @@
 GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
-	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes
+	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes \
+	chaos-smoke
 
 all: build
 
@@ -27,7 +28,7 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke
+ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke chaos-smoke
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -61,6 +62,16 @@ scenario-smoke:
 	done
 	@$(GO) run ./cmd/bidl-bench -dump-scenarios -scale 0.1 | grep -q '"id": "fig5"' \
 		|| { echo "scenario-smoke: -dump-scenarios failed"; exit 1; }
+
+# Chaos gate: the fault-injection catalog under the race detector. Each
+# entry's invariants (consistency audit, committed floors, trace-backed
+# recovery deadlines) must pass AND the rendered report must match its
+# golden byte-for-byte — pinning every chaos run's deterministic outcome.
+# Regenerate goldens deliberately with:
+#   go test ./internal/chaos -run TestChaosCatalog -golden-update
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/chaos \
+		-run 'TestChaosCatalog|TestChaosSameSeedReproducible'
 
 # PDES smoke: one small multi-DC deployment through bidl-sim twice — the
 # 4-worker conservative PDES engine under the race detector, then the serial

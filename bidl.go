@@ -24,6 +24,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/attack"
 	"github.com/bidl-framework/bidl/internal/baseline/fabric"
 	"github.com/bidl-framework/bidl/internal/bench"
+	"github.com/bidl-framework/bidl/internal/chaos"
 	"github.com/bidl-framework/bidl/internal/core"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/metrics"
@@ -91,7 +92,15 @@ type (
 	// Harness is the framework-agnostic cluster surface the scenario
 	// driver runs against; Cluster and BaselineCluster both implement it.
 	Harness = scenario.Harness
+	// FaultKind describes one fault-injection kind (name + summary) for
+	// CLI listings.
+	FaultKind = chaos.KindInfo
 )
+
+// FaultKinds returns the fault-injection taxonomy accepted by a scenario's
+// `faults` array, in a stable order — the `-list-faults` surface of the
+// CLIs (see DESIGN.md §11).
+func FaultKinds() []FaultKind { return chaos.Kinds() }
 
 // Protocol names for Config.Protocol.
 const (

@@ -44,6 +44,7 @@ func main() {
 	var (
 		run       = flag.String("run", "", "experiment ID to run (or \"all\")")
 		list      = flag.Bool("list", false, "list available experiments")
+		listFlts  = flag.Bool("list-faults", false, "list the fault kinds a scenario's faults array accepts and exit")
 		dump      = flag.Bool("dump-scenarios", false, "print the selected experiments' sweep points as scenario JSON and exit")
 		scale     = flag.Float64("scale", 1.0, "load/duration scale in (0,1]")
 		seed      = flag.Int64("seed", 1, "simulation seed")
@@ -58,6 +59,14 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	if *listFlts {
+		fmt.Println("fault kinds (scenario `faults` array, see DESIGN.md §11):")
+		for _, k := range bidl.FaultKinds() {
+			fmt.Printf("  %-12s %s\n", k.Name, k.Summary)
+		}
+		return
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

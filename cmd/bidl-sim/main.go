@@ -51,6 +51,7 @@ func main() {
 		interGbps  = flag.Float64("inter-gbps", 0, "shared inter-DC bandwidth (0 = unlimited)")
 		attackMode = flag.String("attack", "none", "none|leader|broadcaster|smart")
 		scenPath   = flag.String("scenario", "", "run a declarative scenario JSON file (topology/workload/attack flags are ignored)")
+		listFaults = flag.Bool("list-faults", false, "list the fault kinds a scenario's faults array accepts and exit")
 		simWork    = flag.Int("sim-workers", 0, "PDES workers inside the simulation (0/1 = serial engine)")
 		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -runs)")
 		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
@@ -61,6 +62,14 @@ func main() {
 		telemetry  = flag.Bool("telemetry", false, "print per-node/per-link telemetry and slowest-transaction spans")
 	)
 	flag.Parse()
+
+	if *listFaults {
+		fmt.Println("fault kinds (scenario `faults` array, see DESIGN.md §11):")
+		for _, k := range bidl.FaultKinds() {
+			fmt.Printf("  %-12s %s\n", k.Name, k.Summary)
+		}
+		return
+	}
 
 	tracing := *traceOut != "" || *traceJSONL != "" || *telemetry
 	if tracing && *runs != 1 {

@@ -7,6 +7,7 @@ import (
 
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -52,6 +53,9 @@ func (cl *Client) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 			}
 			delete(cl.pending, e.TxID)
 			cl.c.Collector.Committed(e.TxID, ctx.Now(), e.Aborted)
+			if tr := cl.c.Cfg.Tracer; tr != nil {
+				tr.TxStage(e.TxID, trace.StageNotified, int(cl.ep.ID()), ctx.Now())
+			}
 		}
 	}
 }

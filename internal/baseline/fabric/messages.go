@@ -130,6 +130,16 @@ func (m *FabricBlock) Size() int {
 	return n
 }
 
+// FabricBlockFetch asks an orderer to re-send committed blocks in
+// [From, To) — the peer catch-up path after a crash or healed partition.
+type FabricBlockFetch struct {
+	From uint64
+	To   uint64
+}
+
+// Size implements simnet.Message.
+func (m *FabricBlockFetch) Size() int { return 32 }
+
 // CommitNote notifies a client of transaction outcomes.
 type CommitNote struct {
 	Entries []CommitEntry

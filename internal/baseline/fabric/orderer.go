@@ -69,6 +69,15 @@ func (o *Orderer) OnStart(ctx *simnet.Context) {
 	o.bind(ctx, func() { o.replica.Start() })
 }
 
+// OnRestart implements simnet.Restarter: the batch timer died with the
+// crash, so its guard flag must reset (the next submission re-arms it).
+func (o *Orderer) OnRestart(ctx *simnet.Context) {
+	o.bind(ctx, func() {
+		o.batchArmed = false
+		o.maybeBatch()
+	})
+}
+
 // OnMessage implements simnet.Handler.
 func (o *Orderer) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	o.bind(ctx, func() {
@@ -79,6 +88,8 @@ func (o *Orderer) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.
 			for _, env := range m.Envs {
 				o.byHash[env.Tx.ID()] = env
 			}
+		case *FabricBlockFetch:
+			o.onBlockFetch(from, m)
 		case consensus.Msg:
 			if idx, ok := o.c.ordIndex[from]; ok {
 				o.replica.Step(idx, m)
@@ -244,7 +255,10 @@ func (o *Orderer) Proposed(seq uint64, v consensus.Value) {}
 func (o *Orderer) Deliver(seq uint64, v consensus.Value, cert *types.Certificate) {
 	_, hashes, err := types.DecodeOrdering(v.Data)
 	if err != nil {
-		return
+		// Null requests (a new leader's hole filler) become empty blocks:
+		// peers commit strictly in order, so the chain must advance past
+		// the sequence either way.
+		hashes = nil
 	}
 	if at, ok := o.proposeTime[v.Digest]; ok {
 		o.c.Collector.Phase("consensus", o.ctx.Now()-at)
@@ -290,8 +304,28 @@ func (o *Orderer) Deliver(seq uint64, v consensus.Value, cert *types.Certificate
 				}
 			}
 		}
-		delete(o.delivered, o.chainHeight)
+		// Retained past o.chainHeight: disseminated blocks stay in the
+		// map so lagging peers can re-fetch them (FabricBlockFetch).
 		o.chainHeight++
+	}
+}
+
+// onBlockFetch re-sends committed blocks a lagging peer missed (crash or
+// partition catch-up). Responses are capped so one request stays bounded;
+// the peer re-requests as it advances.
+func (o *Orderer) onBlockFetch(from simnet.NodeID, m *FabricBlockFetch) {
+	to := m.To
+	if to > o.chainHeight {
+		to = o.chainHeight
+	}
+	const maxBlocks = 32
+	if to > m.From+maxBlocks {
+		to = m.From + maxBlocks
+	}
+	for n := m.From; n < to; n++ {
+		if b, ok := o.delivered[n]; ok {
+			o.ctx.Send(from, b)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ type Peer struct {
 	commitHeight uint64
 	blockBuf     map[uint64]*FabricBlock
 	committed    map[types.TxID]bool
+	fetching     bool
 }
 
 // Endpoint returns the peer's simnet endpoint.
@@ -56,13 +57,20 @@ func newPeer(c *Cluster, org, idxInOrg int, seed int64) *Peer {
 	}
 }
 
+// OnRestart implements simnet.Restarter: the fetch-cooldown timer died with
+// the crash, so its guard flag must reset; the next delivered block re-opens
+// the catch-up window.
+func (p *Peer) OnRestart(ctx *simnet.Context) {
+	p.fetching = false
+}
+
 // OnMessage implements simnet.Handler.
 func (p *Peer) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case *EndorseReq:
 		p.endorse(ctx, from, m)
 	case *FabricBlock:
-		p.onBlock(ctx, m)
+		p.onBlock(ctx, from, m)
 	}
 }
 
@@ -93,7 +101,7 @@ func (p *Peer) endorse(ctx *simnet.Context, from simnet.NodeID, m *EndorseReq) {
 }
 
 // onBlock buffers and processes ordered blocks in order.
-func (p *Peer) onBlock(ctx *simnet.Context, m *FabricBlock) {
+func (p *Peer) onBlock(ctx *simnet.Context, from simnet.NodeID, m *FabricBlock) {
 	if m.Number < p.commitHeight {
 		return
 	}
@@ -111,12 +119,47 @@ func (p *Peer) onBlock(ctx *simnet.Context, m *FabricBlock) {
 	for {
 		blk, ok := p.blockBuf[p.commitHeight]
 		if !ok {
+			p.maybeFetch(ctx, from, p.topBuffered())
 			return
 		}
 		p.validateAndCommit(ctx, blk)
 		delete(p.blockBuf, p.commitHeight)
 		p.commitHeight++
 	}
+}
+
+// topBuffered returns one past the highest buffered block number — the
+// exclusive upper bound of the gap a fetch needs to cover (the buffered
+// blocks themselves need no re-send).
+func (p *Peer) topBuffered() uint64 {
+	top := p.commitHeight
+	for n := range p.blockBuf {
+		if n > top {
+			top = n
+		}
+	}
+	return top
+}
+
+// maybeFetch requests the missing block range [commitHeight, top) from the
+// orderer src when delivery left a gap (the peer was down or partitioned
+// while blocks went out). A cooldown guard bounds request rate; when it
+// expires the gap is re-checked so a capped response chain keeps advancing
+// even if no fresh block arrives to re-trigger detection.
+func (p *Peer) maybeFetch(ctx *simnet.Context, src simnet.NodeID, top uint64) {
+	if p.fetching || top <= p.commitHeight {
+		return
+	}
+	p.fetching = true
+	ctx.Send(src, &FabricBlockFetch{From: p.commitHeight, To: top})
+	cool := 2 * p.c.Cfg.BlockTimeout
+	if cool <= 0 {
+		cool = 20 * time.Millisecond
+	}
+	ctx.After(cool, func(c2 *simnet.Context) {
+		p.fetching = false
+		p.maybeFetch(c2, src, p.topBuffered())
+	})
 }
 
 // validateAndCommit is the validate phase: VSCC endorsement checks and the

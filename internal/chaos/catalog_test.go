@@ -1,0 +1,100 @@
+package chaos_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/chaos"
+	"github.com/bidl-framework/bidl/internal/scenario"
+	"github.com/bidl-framework/bidl/internal/trace"
+)
+
+// -golden-update rewrites the golden invariant reports from the current
+// run. Review the diff before committing: the reports pin exact committed
+// counts, so any behavioral change shows up here.
+var goldenUpdate = flag.Bool("golden-update", false, "rewrite golden invariant reports")
+
+// bucketWidth is the recovery-series resolution: coarse enough that a
+// healthy bucket at catalog load levels holds ~100 commit notices, fine
+// enough to locate recovery within a fault window.
+const bucketWidth = 50 * time.Millisecond
+
+// runEntry executes one catalog scenario with a tracer attached and
+// evaluates its invariants.
+func runEntry(t *testing.T, e chaos.Entry) chaos.Report {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", e.File))
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	spec, err := scenario.Parse(data)
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	tr := trace.New(trace.Options{})
+	res, err := scenario.RunWith(spec, scenario.RunConfig{Tracer: tr})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	stats := chaos.RunStats{
+		Committed:   uint64(res.Collector.NumCommitted()),
+		ViewChanges: res.Collector.ViewChanges,
+		SafetyErr:   res.SafetyErr,
+		Series:      tr.CommitSeries(bucketWidth),
+		BucketWidth: bucketWidth,
+		FaultEnd:    chaos.ScheduleEnd(spec.FaultSchedule()),
+	}
+	return chaos.Evaluate(e.ID, e.Invariants, stats)
+}
+
+// TestChaosCatalog runs every catalog entry and gates it twice: the
+// invariants must pass (consistency via the cluster safety audit, progress
+// via committed floors, liveness via trace-backed recovery), and the
+// rendered report must match its committed golden byte-for-byte — pinning
+// each chaos run's deterministic outcome, not just pass/fail.
+func TestChaosCatalog(t *testing.T) {
+	for _, e := range chaos.Catalog() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			rep := runEntry(t, e)
+			if !rep.OK() {
+				t.Errorf("invariants failed:\n%s", rep.Render())
+			}
+			golden := filepath.Join("testdata", "golden-"+e.ID+".txt")
+			if *goldenUpdate {
+				if err := os.WriteFile(golden, []byte(rep.Render()), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -golden-update): %v", err)
+			}
+			if got := rep.Render(); got != string(want) {
+				t.Errorf("invariant report drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestChaosSameSeedReproducible re-runs one faulted scenario and demands
+// an identical invariant report — crash timing, drop-storm coin flips, and
+// recovery extraction must all be functions of the seed alone.
+func TestChaosSameSeedReproducible(t *testing.T) {
+	var e chaos.Entry
+	for _, c := range chaos.Catalog() {
+		if c.ID == "drop-storm" {
+			e = c
+		}
+	}
+	a := runEntry(t, e).Render()
+	b := runEntry(t, e).Render()
+	if a != b {
+		t.Errorf("same seed, different reports:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}

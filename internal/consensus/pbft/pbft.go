@@ -202,6 +202,18 @@ func (r *Replica) onPrePrepare(from int, m *Msg) {
 		r.host.Elapse(r.cfg.MACCompute)
 		r.host.BroadcastCN(&Msg{Kind: kindPrepare, View: r.view, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest})
 		in.prepares[r.cfg.Self] = true
+	} else if !in.decided {
+		// A duplicate pre-prepare is the leader re-driving a stalled
+		// instance (retransmit path): our earlier prepare or commit may
+		// have been lost, so re-send the latest phase message we hold.
+		if in.sentComm {
+			r.host.Elapse(r.cfg.SigSign)
+			sig := r.host.Sign(types.CertSigningBytes(r.view, m.Seq, m.Digest))
+			r.host.BroadcastCN(&Msg{Kind: kindCommit, View: r.view, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest, Sig: sig})
+		} else {
+			r.host.Elapse(r.cfg.MACCompute)
+			r.host.BroadcastCN(&Msg{Kind: kindPrepare, View: r.view, Seq: m.Seq, Node: r.cfg.Self, Digest: m.Digest})
+		}
 	}
 	r.maybePrepared(m.Seq, in)
 	r.armTimer()
@@ -285,11 +297,16 @@ func (r *Replica) startViewChange(newView uint64) {
 	var prepared, preprepared []PreparedEntry
 	for _, seq := range consensus.SortedSeqs(r.instances) {
 		in := r.instances[seq]
-		if in.decided || !in.havePP {
+		if !in.havePP {
 			continue
 		}
 		entry := PreparedEntry{Seq: seq, Digest: in.digest, Data: in.data}
-		if len(in.prepares) >= r.cfg.Quorum() {
+		// A decided instance was necessarily prepared, so it belongs in
+		// the P-set (PBFT §4.4): any sequence committed at a correct node
+		// then appears in at least one of the 2f+1 view-change messages
+		// (quorum intersection), which is what makes the new leader's
+		// null-filling of absent sequences safe.
+		if in.decided || len(in.prepares) >= r.cfg.Quorum() {
 			prepared = append(prepared, entry)
 		} else {
 			preprepared = append(preprepared, entry)
@@ -384,6 +401,39 @@ func (r *Replica) installNewView(view uint64, set map[int]*Msg) {
 			}
 		}
 	}
+	// Null-fill sequence holes (PBFT's new-view rule): a sequence absent
+	// from every collected P-set was never committed anywhere, but hosts
+	// deliver blocks strictly in sequence order, so an unfilled hole
+	// wedges the chain forever. A zero-digest, nil-data entry is the
+	// no-op request hosts skip over on delivery.
+	base := r.minSeq
+	for {
+		if in, ok := r.instances[base]; ok && in.decided {
+			base++
+			continue
+		}
+		break
+	}
+	top := base
+	for seq := range reprop {
+		if seq >= top {
+			top = seq + 1
+		}
+	}
+	for seq, in := range r.instances {
+		if in.decided && seq >= top {
+			top = seq + 1
+		}
+	}
+	for seq := base; seq < top; seq++ {
+		if _, ok := reprop[seq]; ok {
+			continue
+		}
+		if in, ok := r.instances[seq]; ok && in.decided {
+			continue
+		}
+		reprop[seq] = PreparedEntry{Seq: seq}
+	}
 	r.host.Elapse(r.cfg.SigSign)
 	nv := &Msg{Kind: kindNewView, View: view, Node: r.cfg.Self}
 	nv.Sig = r.host.Sign(vcSigningBytes(nv))
@@ -468,9 +518,33 @@ func (r *Replica) armTimer() {
 		if r.decidedCnt == decided && r.hasUndecided() {
 			r.RequestViewChange()
 		} else if r.hasUndecided() {
+			r.retransmitStalled()
 			r.armTimer()
 		}
 	})
+}
+
+// retransmitStalled re-drives the oldest undecided instances on the leader:
+// a pre-prepare (or the phase messages it regenerates at the replicas) lost
+// to the network would otherwise stall its sequence forever while newer
+// sequences keep deciding, wedging in-order block delivery at the hole.
+func (r *Replica) retransmitStalled() {
+	if !r.IsLeader() {
+		return
+	}
+	const maxResend = 8
+	sent := 0
+	for _, seq := range consensus.SortedSeqs(r.instances) {
+		in := r.instances[seq]
+		if in.decided || !in.havePP {
+			continue
+		}
+		r.host.Elapse(r.cfg.MACCompute)
+		r.host.BroadcastCN(&Msg{Kind: kindPrePrepare, View: r.view, Seq: seq, Node: r.cfg.Self, Digest: in.digest, Data: in.data})
+		if sent++; sent >= maxResend {
+			break
+		}
+	}
 }
 
 func (r *Replica) resetTimerIfProgress() {

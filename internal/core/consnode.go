@@ -59,15 +59,21 @@ type ConsNode struct {
 	auth map[uint64]types.TxID
 	// watermark: sequence numbers <= watermark have been proposed (or
 	// abandoned to an older leadership term).
-	watermark  uint64
-	maxSeen    uint64
-	timerArmed bool
+	watermark   uint64
+	maxSeen     uint64
+	timerArmed  bool
+	statusArmed bool
+	// Last sequencer-activation parameters, re-asserted by the status
+	// ticker: the handoff message itself can be lost to a drop fault.
+	seqActView  uint64
+	seqActStart uint64
 
 	// delivered consensus decisions by block number; chainHeight is the
 	// next block number to process.
-	delivered   map[uint64]*deliveredBlock
-	chainHeight uint64
-	blocks      *ledger.BlockStore
+	delivered     map[uint64]*deliveredBlock
+	chainHeight   uint64
+	blockFetching bool
+	blocks        *ledger.BlockStore
 	// agreed maps sequence number → agreed transaction hash; agreedView
 	// records the view each sequence was agreed in (shepherd accounting).
 	// proposedHash records leader proposals pre-agreement: result vectors
@@ -175,17 +181,54 @@ func (n *ConsNode) OnStart(ctx *simnet.Context) {
 }
 
 // statusTick periodically advertises the processed chain height (leader
-// only) so normal nodes that lost a BlockMsg can fetch it back.
+// only) so normal nodes that lost a BlockMsg can fetch it back. The armed
+// guard keeps exactly one ticker alive even when a crash/restart cycle
+// re-arms it before the crashed ticker's timer would have fired.
 func (n *ConsNode) statusTick() {
+	if n.statusArmed {
+		return
+	}
+	n.statusArmed = true
 	interval := 2 * n.c.Cfg.BlockTimeout
 	if interval <= 0 {
 		interval = 20 * time.Millisecond
 	}
 	n.host().After(interval, func() {
+		n.statusArmed = false
 		if n.replica.IsLeader() && n.chainHeight > 0 {
 			n.ctx.Multicast(groupBlocks, &ChainStatus{Height: n.chainHeight})
 		}
+		// Re-assert the co-located sequencer's desired state: the
+		// activation handoff is just a message, and losing it (e.g. to a
+		// storm targeting the freshly elected leader) would otherwise
+		// leave the term without a working sequencer until the next view
+		// change. The sequencer treats repeats idempotently.
+		n.ctx.Send(n.c.Sequencers[n.idx].ep.ID(), &seqActivate{
+			Active: n.replica.IsLeader(), View: n.seqActView, StartSeq: n.seqActStart,
+		})
 		n.statusTick()
+	})
+}
+
+// OnRestart implements simnet.Restarter: every timer died with the crash,
+// so the guard flags must reset (or proposals and persist flushes would
+// never re-arm) and the free-running chain-status ticker restarts. The BFT
+// replica itself stays passive until peers' messages drive it — a restarted
+// replica whose progress timer was lost cannot initiate view changes, which
+// is within the f-faulty budget the protocol already tolerates.
+func (n *ConsNode) OnRestart(ctx *simnet.Context) {
+	n.bind(ctx, func() {
+		n.timerArmed = false
+		n.persistArm = false
+		n.statusArmed = false
+		n.blockFetching = false
+		n.statusTick()
+		if len(n.persistOut) > 0 {
+			n.flushPersist()
+		}
+		if n.replica.IsLeader() {
+			n.maybePropose()
+		}
 	})
 }
 
@@ -218,8 +261,7 @@ func (n *ConsNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet
 		case *PersistFetchReq:
 			n.onPersistFetch(from, m)
 		case *ChainStatus:
-			// Peers' height advertisements; consensus nodes track their
-			// own chain via agreement.
+			n.onPeerChainStatus(from, m)
 		case *BlockMsg:
 			n.onBlockMsg(m)
 		case consensus.Msg:
@@ -439,7 +481,11 @@ func (n *ConsNode) Proposed(seq uint64, v consensus.Value) {
 func (n *ConsNode) Deliver(seq uint64, v consensus.Value, cert *types.Certificate) {
 	seqs, hashes, err := decodeOrderingPrefix(v.Data)
 	if err != nil {
-		return
+		// Null requests (a new leader's hole filler) and any other
+		// undecodable agreed value become empty blocks: every correct
+		// node agreed on the same bytes, and in-order delivery must
+		// advance past the sequence either way.
+		seqs, hashes = nil, nil
 	}
 	if at, ok := n.proposeTime[v.Digest]; ok {
 		n.c.Collector.Phase("consensus", n.ctx.Now()-at)
@@ -737,7 +783,11 @@ func (n *ConsNode) onBlockMsg(m *BlockMsg) {
 		return
 	}
 	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
-	if m.Cert.Number != m.Number || m.Cert.Digest != m.OrderingDig() {
+	// Zero-digest certificate over an empty ordering = null block (a new
+	// leader's sequence-hole filler); the quorum signed the zero digest
+	// directly, so the ordering-digest equation does not apply.
+	null := len(seqs) == 0 && m.Cert.Digest == (crypto.Digest{})
+	if m.Cert.Number != m.Number || (!null && m.Cert.Digest != m.OrderingDig()) {
 		return
 	}
 	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {
@@ -753,6 +803,35 @@ func (n *ConsNode) onBlockMsg(m *BlockMsg) {
 		delete(n.delivered, n.chainHeight)
 		n.chainHeight++
 	}
+}
+
+// onPeerChainStatus fetches agreed blocks this consensus node missed: a
+// replica that lost the commit round for one sequence (drop storm,
+// partition) would otherwise buffer every later delivery forever, because
+// peers never retransmit decided instances.
+func (n *ConsNode) onPeerChainStatus(from simnet.NodeID, m *ChainStatus) {
+	if m.Height <= n.chainHeight || n.blockFetching {
+		return
+	}
+	need := false
+	for num := n.chainHeight; num < m.Height; num++ {
+		if _, ok := n.delivered[num]; !ok {
+			need = true
+			break
+		}
+	}
+	if !need {
+		return
+	}
+	n.blockFetching = true
+	n.ctx.Send(from, &BlockFetchReq{From: n.chainHeight, To: m.Height})
+	cool := 2 * n.c.Cfg.BlockTimeout
+	if cool <= 0 {
+		cool = 20 * time.Millisecond
+	}
+	n.ctx.After(cool, func(c2 *simnet.Context) {
+		n.bind(c2, func() { n.blockFetching = false })
+	})
 }
 
 // onBlockFetch re-sends stored blocks a normal node missed.
@@ -830,7 +909,16 @@ func (n *ConsNode) onClientRelay(m *RelayBatch) {
 	for _, tx := range fresh {
 		ids = append(ids, tx.ID())
 	}
+	view := n.replica.View()
 	n.host().After(n.c.Cfg.ClientTimeout, func() {
+		if n.replica.View() != view {
+			// The watchdog indicts the leader it was armed against; a
+			// successor gets a fresh timeout (the client's retransmission
+			// loop re-arms against it). Without this check, watchdogs
+			// armed under a stalled leader burn every subsequent view the
+			// moment it is installed, sustaining a view-change cascade.
+			return
+		}
 		stuck := false
 		for _, id := range ids {
 			if n.watch[id] {
@@ -957,6 +1045,7 @@ func (n *ConsNode) activateSequencer(view uint64) {
 	start := n.maxSeen + uint64(10*n.c.Cfg.BlockSize) + 1
 	n.watermark = start - 1
 	n.maxSeen = start - 1
+	n.seqActView, n.seqActStart = view, start
 	n.ctx.Send(n.c.Sequencers[n.idx].ep.ID(), &seqActivate{Active: true, View: view, StartSeq: start})
 	// Transactions stranded by the previous leadership term are NOT
 	// re-sequenced from the pool: the pool may hold crafted transactions,

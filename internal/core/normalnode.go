@@ -298,6 +298,27 @@ func (n *NormalNode) bind(ctx *simnet.Context, fn func()) {
 	fn()
 }
 
+// OnRestart implements simnet.Restarter: every armed timer (gap jump,
+// result flush, block-fetch cooldown, persist retry) died with the crash,
+// so the guard flags must reset or recovery would never re-arm. Committed
+// state — the base ledger and block store — survives like a disk image;
+// missed blocks are caught up through the leader's periodic ChainStatus
+// advertisements and the persist-retry watchdog.
+func (n *NormalNode) OnRestart(ctx *simnet.Context) {
+	n.bind(ctx, func() {
+		n.gapArmed = false
+		n.flushArm = false
+		n.blockFetching = false
+		n.persistRetryArm = false
+		if _, pending := n.blockBuf[n.commitHeight]; pending {
+			n.armPersistRetry()
+		}
+		if len(n.pool.bySeq) > 0 {
+			n.armGapTimer()
+		}
+	})
+}
+
 // OnMessage implements simnet.Handler.
 func (n *NormalNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	n.bind(ctx, func() {
@@ -797,7 +818,11 @@ func (n *NormalNode) onBlock(m *BlockMsg) {
 	// verification), so the cost is one signature verification plus a
 	// MAC-rate scan of the shares rather than 2f+1 full verifications.
 	n.ctx.Elapse(n.c.Cfg.Costs.SigVerify + time.Duration(n.c.Cfg.quorum())*n.c.Cfg.Costs.MACVerify)
-	if m.Cert.Number != m.Number || m.Cert.Digest != m.OrderingDig() {
+	// A zero-digest certificate over an empty ordering is a null block
+	// (a new leader's sequence-hole filler): the quorum signed the zero
+	// digest directly, so the ordering-digest equation does not apply.
+	null := len(seqs) == 0 && m.Cert.Digest == (crypto.Digest{})
+	if m.Cert.Number != m.Number || (!null && m.Cert.Digest != m.OrderingDig()) {
 		return
 	}
 	if !m.Cert.Verify(n.c.Scheme, cnIdentity, n.c.Cfg.quorum()) {
@@ -1008,9 +1033,11 @@ func (n *NormalNode) tryCommitBlock(pb *pendingBlock) bool {
 		}
 	}
 
-	// Resume speculation past the block.
-	if last := pb.seqs[len(pb.seqs)-1]; n.specNext <= last {
-		n.specNext = last + 1
+	// Resume speculation past the block (null blocks carry no sequences).
+	if len(pb.seqs) > 0 {
+		if last := pb.seqs[len(pb.seqs)-1]; n.specNext <= last {
+			n.specNext = last + 1
+		}
 	}
 	n.trySpeculate()
 	return true

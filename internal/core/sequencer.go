@@ -51,15 +51,31 @@ type SequencerNode struct {
 // Endpoint returns the sequencer's simnet endpoint.
 func (s *SequencerNode) Endpoint() *simnet.Endpoint { return s.ep }
 
+// OnRestart implements simnet.Restarter: the crash lost the in-memory
+// pending batch and any armed flush timer, so the guard flag must reset or
+// the sequencer would never flush again. The next ingest re-arms it.
+func (s *SequencerNode) OnRestart(ctx *simnet.Context) {
+	s.pending = nil
+	s.flushArmed = false
+}
+
 // OnMessage implements simnet.Handler.
 func (s *SequencerNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg simnet.Message) {
 	switch m := msg.(type) {
 	case *seqActivate:
-		s.active = m.Active
+		// Idempotent: the owning consensus node re-asserts the desired
+		// state periodically (the activation handoff itself can be lost
+		// to a drop fault), so a repeat of the current term must not
+		// reset the dedup set or the sequence counter.
 		if m.Active {
-			s.view = m.View
-			s.nextSeq = m.StartSeq
-			s.seen = make(map[types.TxID]bool)
+			if !s.active || s.view != m.View {
+				s.view = m.View
+				s.nextSeq = m.StartSeq
+				s.seen = make(map[types.TxID]bool)
+			}
+			s.active = true
+		} else {
+			s.active = false
 		}
 	case *SubmitBatch:
 		s.ingest(ctx, m.Txns)

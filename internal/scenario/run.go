@@ -7,6 +7,7 @@ import (
 
 	"github.com/bidl-framework/bidl/internal/attack"
 	"github.com/bidl-framework/bidl/internal/baseline/fabric"
+	"github.com/bidl-framework/bidl/internal/chaos"
 	"github.com/bidl-framework/bidl/internal/core"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/metrics"
@@ -116,10 +117,10 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	if err := d.Prepopulate(gen.Prepopulate); err != nil {
 		return Result{}, err
 	}
-	// Attacks arm after the membership is complete (the broadcaster
+	// Faults arm after the membership is complete (the broadcaster
 	// registers its own endpoint; doing so earlier would shift endpoint
 	// IDs and change the run) but before any load is scheduled.
-	s.applyAttack(bc, fc, gen)
+	s.applyFaults(bc, fc, gen)
 	n, err := d.ScheduleRate(gen, s.Load.Rate, window)
 	if err != nil {
 		return Result{}, err
@@ -264,10 +265,12 @@ func (s Scenario) bidlConfig() core.Config {
 }
 
 // effectiveSimWorkers resolves the PDES concurrency for the compiled
-// config. Attack scenarios are pinned to the serial engine: adversaries
-// mutate cluster state mid-run from outside the partition discipline.
+// config. Faulted scenarios (including the legacy attack spec) are pinned
+// to the serial engine: the injector mutates cluster state mid-run from
+// outside the partition discipline, and its drop rules must see globally
+// ordered sends.
 func (s Scenario) effectiveSimWorkers() int {
-	if s.Attack.Kind != "" {
+	if s.Attack.Kind != "" || len(s.Faults) > 0 {
 		return 0
 	}
 	return s.SimWorkers
@@ -362,37 +365,111 @@ func (s Scenario) workloadConfig(orgs int) workload.Config {
 	return w
 }
 
-// applyAttack arms the spec's adversary on the freshly built cluster.
+// applyFaults compiles the spec's fault schedule (faults array plus the
+// legacy attack spec) and installs it on the freshly built cluster.
 // Exactly one of bc/fc is non-nil; Validate has already rejected
-// kind/framework combinations that cannot be armed.
-func (s Scenario) applyAttack(bc *core.Cluster, fc *fabric.Cluster, gen *workload.Generator) {
-	switch s.Attack.Kind {
-	case "", AttackNone:
-	case AttackLeader:
-		if bc != nil {
-			attack.EnableMaliciousLeader(bc, bc.LeaderIndex())
-		} else {
-			fc.Orderers[fc.LeaderIndex()].ProposeGarbage = true
+// schedules that cannot be armed.
+func (s Scenario) applyFaults(bc *core.Cluster, fc *fabric.Cluster, gen *workload.Generator) {
+	faults := s.compiledFaults()
+	if len(faults) == 0 {
+		return
+	}
+	var env chaos.Env
+	if bc != nil {
+		env = bidlChaosEnv(bc, gen)
+	} else {
+		env = fabricChaosEnv(fc)
+	}
+	chaos.NewInjector(env, faults, s.EffectiveSeed()).Install()
+}
+
+// bidlChaosEnv assembles the injector's cluster surface for BIDL:
+// endpoint rosters plus closures binding the malicious-leader toggle and
+// broadcaster attachment to the attack package.
+func bidlChaosEnv(bc *core.Cluster, gen *workload.Generator) chaos.Env {
+	cons := make([]*simnet.Endpoint, len(bc.ConsNodes))
+	seqs := make([]*simnet.Endpoint, len(bc.Sequencers))
+	for i, cn := range bc.ConsNodes {
+		cons[i] = cn.Endpoint()
+	}
+	for i, sq := range bc.Sequencers {
+		seqs[i] = sq.Endpoint()
+	}
+	orgs := make([][]*simnet.Endpoint, len(bc.Orgs))
+	for i, org := range bc.Orgs {
+		orgs[i] = make([]*simnet.Endpoint, len(org))
+		for j, nn := range org {
+			orgs[i][j] = nn.Endpoint()
 		}
-	case AttackBroadcaster, AttackSmart:
-		cfg := attack.DefaultBroadcasterConfig()
-		if len(s.Attack.MaliciousClients) > 0 {
-			cfg.MaliciousClients = s.Attack.MaliciousClients
+	}
+	return chaos.Env{
+		Sim:         bc.Sim,
+		Net:         bc.Net,
+		Consensus:   cons,
+		Sequencers:  seqs,
+		Orgs:        orgs,
+		LeaderIndex: bc.LeaderIndex,
+		SetLeaderEvil: func(on bool) {
+			if on {
+				attack.EnableMaliciousLeader(bc, bc.LeaderIndex())
+				return
+			}
+			for _, sq := range bc.Sequencers {
+				sq.Garbage = false
+			}
+		},
+		StartBroadcaster: func(f chaos.Fault) {
+			cfg := attack.DefaultBroadcasterConfig()
+			if len(f.MaliciousClients) > 0 {
+				cfg.MaliciousClients = f.MaliciousClients
+			}
+			if f.Window > 0 {
+				cfg.Window = f.Window
+			}
+			if f.Interval != 0 {
+				cfg.Interval = f.Interval
+			}
+			if f.DetectLag != 0 {
+				cfg.DetectLag = f.DetectLag
+			}
+			if f.Kind == chaos.KindSmart {
+				cfg.TargetLeader = bc.LeaderIndex()
+			}
+			attack.NewBroadcaster(bc, gen, cfg).Start(f.At)
+		},
+	}
+}
+
+// fabricChaosEnv assembles the injector's cluster surface for a baseline:
+// orderers play the consensus role, peers the org role, and there is no
+// sequencer multicast to race (broadcaster kinds are validated out).
+func fabricChaosEnv(fc *fabric.Cluster) chaos.Env {
+	cons := make([]*simnet.Endpoint, len(fc.Orderers))
+	for i, o := range fc.Orderers {
+		cons[i] = o.Endpoint()
+	}
+	orgs := make([][]*simnet.Endpoint, len(fc.Peers))
+	for i, org := range fc.Peers {
+		orgs[i] = make([]*simnet.Endpoint, len(org))
+		for j, p := range org {
+			orgs[i][j] = p.Endpoint()
 		}
-		if s.Attack.Window > 0 {
-			cfg.Window = s.Attack.Window
-		}
-		if s.Attack.Interval != 0 {
-			cfg.Interval = s.Attack.Interval.D()
-		}
-		if s.Attack.DetectLag != 0 {
-			cfg.DetectLag = s.Attack.DetectLag.D()
-		}
-		if s.Attack.Kind == AttackSmart {
-			cfg.TargetLeader = bc.LeaderIndex()
-		}
-		b := attack.NewBroadcaster(bc, gen, cfg)
-		b.Start(s.Attack.Start.D())
+	}
+	return chaos.Env{
+		Sim:         fc.Sim,
+		Net:         fc.Net,
+		Consensus:   cons,
+		Orgs:        orgs,
+		LeaderIndex: fc.LeaderIndex,
+		SetLeaderEvil: func(on bool) {
+			if on {
+				fc.Orderers[fc.LeaderIndex()].ProposeGarbage = true
+				return
+			}
+			for _, o := range fc.Orderers {
+				o.ProposeGarbage = false
+			}
+		},
 	}
 }
 
@@ -435,25 +512,24 @@ func (s Scenario) Validate() error {
 	}
 
 	switch s.Attack.Kind {
-	case "", AttackLeader:
-	case AttackBroadcaster, AttackSmart:
-		if !isBIDL {
-			return fmt.Errorf("scenario: attack %q requires the bidl framework (the broadcaster races the sequencer multicast)", s.Attack.Kind)
-		}
+	case "", AttackLeader, AttackBroadcaster, AttackSmart:
 	default:
 		return fmt.Errorf("scenario: unknown attack kind %q", s.Attack.Kind)
 	}
 	if s.Attack.Start < 0 || s.Attack.Window < 0 || s.Attack.Interval < 0 || s.Attack.DetectLag < 0 {
 		return fmt.Errorf("scenario: attack parameters must be >= 0")
 	}
-	for _, ci := range s.Attack.MaliciousClients {
-		if ci < 0 {
-			return fmt.Errorf("scenario: malicious client indices must be >= 0 (got %d)", ci)
-		}
-	}
 
 	if isBIDL {
-		return s.bidlConfig().Validate()
+		cfg := s.bidlConfig()
+		if err := s.validateFaults(cfg.NumOrgs, cfg.NormalPerOrg, cfg.NumDCs, true); err != nil {
+			return err
+		}
+		return cfg.Validate()
 	}
-	return s.fabricConfig().Validate()
+	cfg := s.fabricConfig()
+	if err := s.validateFaults(cfg.NumOrgs, cfg.PeersPerOrg, cfg.NumDCs, false); err != nil {
+		return err
+	}
+	return cfg.Validate()
 }

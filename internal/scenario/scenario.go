@@ -117,8 +117,14 @@ type Scenario struct {
 	// Load is the offered load profile — the only group with no usable
 	// zero value: Window must be positive.
 	Load LoadSpec `json:"load"`
-	// Attack optionally arms one of the paper's adversaries.
+	// Attack optionally arms one of the paper's adversaries. It is the
+	// legacy surface for what is now a one-entry Faults schedule; new
+	// specs should prefer Faults.
 	Attack AttackSpec `json:"attack,omitempty"`
+	// Faults is the declarative fault-injection schedule (see
+	// chaos.Kinds or `bidl-sim -list-faults` for the taxonomy). Runs
+	// with faults always use the serial simulation engine.
+	Faults []FaultSpec `json:"faults"`
 }
 
 // NodesSpec sizes the simulated cluster. Zero fields mean setting A:

@@ -115,8 +115,31 @@ func (e *Endpoint) Stats() EndpointStats {
 }
 
 // SetDown marks the endpoint crashed (true) or alive (false). A crashed
-// endpoint silently drops all deliveries, including its own timers.
+// endpoint drops all deliveries — including messages already sitting in its
+// inbox, which are counted as dropped when the (dead) core pops them — and
+// loses its own timers. Prefer Restart over SetDown(false) to bring a node
+// back: it gives the handler a chance to re-arm its periodic timers.
 func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// Restarter is implemented by handlers that need a callback when their
+// crashed endpoint comes back up (Endpoint.Restart): free-running timers
+// died with the crash, so this is where they are re-armed.
+type Restarter interface {
+	OnRestart(ctx *Context)
+}
+
+// Restart brings a crashed endpoint back up. If the handler implements
+// Restarter, OnRestart is enqueued like a regular delivery so recovery work
+// runs on the node's own core at the current virtual time.
+func (e *Endpoint) Restart() {
+	if !e.down {
+		return
+	}
+	e.down = false
+	if r, ok := e.handler.(Restarter); ok {
+		e.enqueue(delivery{from: e.id, timer: r.OnRestart})
+	}
+}
 
 // QueueLen reports the inbox backlog (for monitoring/backpressure tests).
 func (e *Endpoint) QueueLen() int { return len(e.queue) - e.qHead }
@@ -572,6 +595,16 @@ func (e *Endpoint) processNext() {
 	ctx := &e.actCtx
 	*ctx = Context{net: e.net, node: e, start: now}
 	if e.down {
+		// The core died with deliveries still queued: they are lost, not
+		// replayed on restart, and messages count against Dropped exactly
+		// like arrivals at a down endpoint (deliver). Timers vanish
+		// silently — a crashed process has no pending timers to lose.
+		if d.timer == nil {
+			e.stats.Dropped++
+			if e.net.tracer != nil {
+				e.net.tracer.Dropped(int(e.id), now)
+			}
+		}
 		e.net.sim.schedTimer(e.part, now, e.procFn)
 		return
 	}
