@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
 	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes \
-	chaos-smoke
+	chaos-smoke anatomy-smoke bench-check
 
 all: build
 
@@ -28,7 +28,8 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke chaos-smoke
+ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke chaos-smoke \
+	anatomy-smoke bench-check
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -93,10 +94,35 @@ bench-pdes:
 	@echo "results: /tmp/bidl-pdes-serial.json /tmp/bidl-pdes-parallel.json"
 
 # End-to-end trace smoke: a short traced run must produce a valid,
-# Perfetto-loadable Chrome trace (parses, has spans and counter tracks).
+# Perfetto-loadable Chrome trace (parses, has spans and counter tracks) AND
+# a schema-valid raw JSONL export (frozen schema, per-tx monotonic stamps).
 trace-smoke:
-	$(GO) run ./cmd/bidl-sim -rate 4000 -duration 300ms -trace /tmp/bidl-trace-smoke.json > /dev/null
+	$(GO) run ./cmd/bidl-sim -rate 4000 -duration 300ms -trace /tmp/bidl-trace-smoke.json \
+		-trace-jsonl /tmp/bidl-trace-smoke.jsonl > /dev/null
 	$(GO) run ./cmd/bidl-trace-check /tmp/bidl-trace-smoke.json
+	$(GO) run ./cmd/bidl-trace-check -jsonl /tmp/bidl-trace-smoke.jsonl
+
+# Latency-anatomy smoke: one traced run emits the in-process anatomy report
+# plus the raw JSONL export; bidl-report recomputes the report offline from
+# the JSONL and both renderings (text + CSV) must be byte-identical — the
+# frozen-schema guarantee of DESIGN.md §12, checked end to end.
+anatomy-smoke:
+	$(GO) run ./cmd/bidl-sim -rate 4000 -duration 300ms \
+		-anatomy /tmp/bidl-anatomy.txt -anatomy-csv /tmp/bidl-anatomy.csv \
+		-trace-jsonl /tmp/bidl-anatomy.jsonl > /dev/null
+	$(GO) run ./cmd/bidl-report -trace-jsonl /tmp/bidl-anatomy.jsonl \
+		-out /tmp/bidl-anatomy-offline.txt -csv /tmp/bidl-anatomy-offline.csv
+	@cmp /tmp/bidl-anatomy.txt /tmp/bidl-anatomy-offline.txt
+	@cmp /tmp/bidl-anatomy.csv /tmp/bidl-anatomy-offline.csv
+	@echo "anatomy-smoke: offline report byte-identical to in-process"
+
+# Perf-regression gate: re-measure the fig5 trail entry and the pipeline
+# hot-path benchmark, compare against the committed BENCH_serial.json /
+# BENCH_hotpath.json baselines with explicit tolerances (virtual-event
+# counts exactly; wall-clock loosely — see cmd/bidl-perfgate). After a
+# deliberate perf/behavior change: go run ./cmd/bidl-perfgate -update
+bench-check:
+	$(GO) run ./cmd/bidl-perfgate
 
 # Regenerate the BENCH_*.json perf trail (quick scale). Serial first, then
 # the same sweep on 4 workers; tables are byte-identical, only wall-clock

@@ -19,6 +19,7 @@ package bidl
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/attack"
@@ -31,6 +32,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/scenario"
 	"github.com/bidl-framework/bidl/internal/simnet"
 	"github.com/bidl-framework/bidl/internal/trace"
+	"github.com/bidl-framework/bidl/internal/trace/anatomy"
 	"github.com/bidl-framework/bidl/internal/types"
 	"github.com/bidl-framework/bidl/internal/workload"
 )
@@ -95,6 +97,27 @@ type (
 	// FaultKind describes one fault-injection kind (name + summary) for
 	// CLI listings.
 	FaultKind = chaos.KindInfo
+	// Registry holds named counters and log2-bucket histograms; every
+	// Collector carries one as Collector.Reg.
+	Registry = metrics.Registry
+	// AnatomyReport is a critical-path latency decomposition computed from
+	// trace events (see DESIGN.md §12).
+	AnatomyReport = anatomy.Report
+	// AnatomyOptions tunes anatomy computation (fault windows to annotate).
+	AnatomyOptions = anatomy.Options
+	// AnatomyWindow labels a time interval (e.g. a fault) for per-window
+	// latency annotation in an AnatomyReport.
+	AnatomyWindow = anatomy.Window
+	// TraceJSONL is the decoded content of a -trace-jsonl export.
+	TraceJSONL = trace.JSONLData
+	// GateMetric is one baseline-vs-current perf-gate comparison.
+	GateMetric = bench.GateMetric
+	// GateReport is the per-metric delta table of one perf-gate run.
+	GateReport = bench.GateReport
+	// GateTolerances bundles the perf gate's tunable limits.
+	GateTolerances = bench.GateTolerances
+	// HotpathStats is the gated slice of a hot-path microbenchmark entry.
+	HotpathStats = bench.HotpathStats
 )
 
 // FaultKinds returns the fault-injection taxonomy accepted by a scenario's
@@ -205,6 +228,44 @@ func MeasureExperiment(id string, opts BenchOptions) (*BenchTable, BenchStats, e
 // NewBenchReport returns an empty report stamped with the options'
 // execution parameters; Add BenchStats to it and WriteJSON the result.
 func NewBenchReport(opts BenchOptions) *BenchReport { return bench.NewReport(opts) }
+
+// ComputeAnatomy decomposes traced transaction lifecycles into a
+// critical-path latency report: per-stage waits in observed pipeline order,
+// end-to-end percentiles, consensus phase-transition timings, and the
+// speculative-execution overlap ratio. The inputs are a Tracer's TxEvents
+// and PhaseEvents — live from Tracer methods, or offline from a
+// -trace-jsonl file via ReadTraceJSONL (both yield byte-identical reports).
+func ComputeAnatomy(txEvents []trace.TxEvent, phaseEvents []trace.PhaseEvent, o AnatomyOptions) *AnatomyReport {
+	return anatomy.Compute(txEvents, phaseEvents, o)
+}
+
+// ReadTraceJSONL decodes a -trace-jsonl export, rejecting unknown fields
+// and malformed records (the schema is frozen; see DESIGN.md §12).
+func ReadTraceJSONL(r io.Reader) (*TraceJSONL, error) { return trace.ReadJSONL(r) }
+
+// ValidateTraceJSONL is ReadTraceJSONL plus semantic checks: per-transaction
+// stage timestamps must be non-negative and monotonically non-decreasing.
+func ValidateTraceJSONL(r io.Reader) (*TraceJSONL, error) { return trace.ValidateJSONL(r) }
+
+// DefaultGateTolerances returns the perf gate's portable defaults: tight on
+// machine-independent counters, loose on wall-clock rates.
+func DefaultGateTolerances() GateTolerances { return bench.DefaultGateTolerances() }
+
+// CompareBenchStats gates a fresh experiment measurement against its
+// committed BENCH_*.json trail entry (virtual events exactly,
+// events/wall-second within tolerance).
+func CompareBenchStats(baseline, current BenchStats, tol GateTolerances) *GateReport {
+	return bench.CompareRunStats(baseline, current, tol)
+}
+
+// CompareHotpath gates a fresh hot-path benchmark run against the committed
+// microbenchmark baseline.
+func CompareHotpath(baseline, current HotpathStats, tol GateTolerances) *GateReport {
+	return bench.CompareHotpath(baseline, current, tol)
+}
+
+// LoadBenchReport parses a committed BENCH_serial.json-style trail file.
+func LoadBenchReport(path string) (*BenchReport, error) { return bench.LoadReport(path) }
 
 // BaselineSystem bundles a baseline (HLF/FastFabric/StreamChain) cluster
 // with a workload generator and registered clients.

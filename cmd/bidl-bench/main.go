@@ -55,6 +55,7 @@ func main() {
 		simWork   = flag.Int("sim-workers", 0, "PDES workers inside each simulation (0/1 = serial engine)")
 		jsonOut   = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "trace every run and print per-run telemetry summaries to stderr")
+		anatomy   = flag.Bool("anatomy", false, "trace every run and print per-run latency-anatomy breakdowns to stderr")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
@@ -115,13 +116,21 @@ func main() {
 	if !*quiet {
 		opts.Log = os.Stderr
 	}
-	if *telemetry {
+	if *telemetry || *anatomy {
 		// Sweep points may finish concurrently (-j); serialize the reports.
 		var mu sync.Mutex
 		opts.TraceSink = func(tr *bidl.Tracer) {
 			mu.Lock()
 			defer mu.Unlock()
-			tr.WriteSummary(os.Stderr, bidl.TraceSummaryOptions{TopNodes: 5, TopTxs: 3})
+			if *telemetry {
+				tr.WriteSummary(os.Stderr, bidl.TraceSummaryOptions{TopNodes: 5, TopTxs: 3})
+			}
+			if *anatomy {
+				rep := bidl.ComputeAnatomy(tr.TxEvents(), tr.PhaseEvents(), bidl.AnatomyOptions{})
+				if err := rep.Render(os.Stderr); err != nil {
+					fmt.Fprintln(os.Stderr, "bidl-bench:", err)
+				}
+			}
 		}
 	}
 

@@ -1,0 +1,197 @@
+// Command bidl-perfgate is the automated perf-regression gate behind
+// `make bench-check`: it re-measures the committed perf trail and fails with
+// a per-metric delta table when the current tree regresses beyond explicit
+// tolerances.
+//
+// Two baselines are gated:
+//
+//   - BENCH_serial.json (-report): one experiment (-experiment, default
+//     fig5) is re-run at the trail's recorded scale/seed/workers. Virtual
+//     event counts must match the trail exactly — same scale and seed make
+//     the simulation deterministic, so any drift means the tree changed
+//     behavior, not just speed. Events/wall-second gates loosely (the trail
+//     machine is not the CI machine).
+//   - BENCH_hotpath.json (-hotpath): the pipeline hot-path microbenchmark is
+//     re-run via testing.Benchmark. allocs/op and vevents/op are
+//     machine-independent and gate tightly; ns/op gates loosely.
+//
+// After a deliberate perf or behavior change, refresh the baselines with
+// -update (re-measures and rewrites both files in place).
+//
+// Examples:
+//
+//	bidl-perfgate                            # gate both baselines
+//	bidl-perfgate -hotpath ""                # experiment trail only
+//	bidl-perfgate -tol-wall 0.3              # tighten on a pinned CI host
+//	bidl-perfgate -update                    # refresh baselines
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"github.com/bidl-framework/bidl"
+	"github.com/bidl-framework/bidl/internal/bench"
+)
+
+func main() {
+	var (
+		reportPath = flag.String("report", "BENCH_serial.json", "experiment perf trail to gate (\"\" = skip)")
+		experiment = flag.String("experiment", "fig5", "trail experiment to re-measure")
+		hotPath    = flag.String("hotpath", "BENCH_hotpath.json", "hot-path microbenchmark baseline to gate (\"\" = skip)")
+		update     = flag.Bool("update", false, "re-measure and rewrite the baselines instead of gating")
+		tolWall    = flag.Float64("tol-wall", 0, "max events/wall-sec drop (0 = default)")
+		tolNs      = flag.Float64("tol-ns", 0, "max hot-path ns/op growth (0 = default)")
+		tolAllocs  = flag.Float64("tol-allocs", 0, "max hot-path allocs/op growth (0 = default)")
+		tolVEv     = flag.Float64("tol-vevents", 0, "max hot-path vevents/op growth (0 = default)")
+	)
+	flag.Parse()
+
+	tol := bidl.DefaultGateTolerances()
+	if *tolWall > 0 {
+		tol.Wall = *tolWall
+	}
+	if *tolNs > 0 {
+		tol.NsPerOp = *tolNs
+	}
+	if *tolAllocs > 0 {
+		tol.AllocsPerOp = *tolAllocs
+	}
+	if *tolVEv > 0 {
+		tol.VEventsPerOp = *tolVEv
+	}
+
+	pass := true
+	if *reportPath != "" {
+		if !gateReport(*reportPath, *experiment, tol, *update) {
+			pass = false
+		}
+	}
+	if *hotPath != "" {
+		if !gateHotpath(*hotPath, tol, *update) {
+			pass = false
+		}
+	}
+	if !pass {
+		os.Exit(1)
+	}
+}
+
+// gateReport re-measures one trail experiment at the trail's recorded
+// parameters and gates (or, with update, rewrites) its entry.
+func gateReport(path, id string, tol bidl.GateTolerances, update bool) bool {
+	trail, err := bidl.LoadBenchReport(path)
+	if err != nil {
+		fail(err)
+	}
+	baseline, ok := trail.FindRunStats(id)
+	if !ok {
+		fail(fmt.Errorf("%s: no experiment %q in trail", path, id))
+	}
+	fmt.Fprintf(os.Stderr, "bidl-perfgate: re-measuring %s (scale %g, seed %d, workers %d)...\n",
+		id, trail.Scale, trail.Seed, trail.Workers)
+	opts := bidl.BenchOptions{Scale: trail.Scale, Seed: trail.Seed, Workers: trail.Workers}
+	_, current, err := bidl.MeasureExperiment(id, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if update {
+		for i := range trail.Experiments {
+			if trail.Experiments[i].ID == id {
+				trail.Experiments[i] = current
+			}
+		}
+		trail.TotalWallSeconds, trail.TotalVirtualEvents = 0, 0
+		for _, s := range trail.Experiments {
+			trail.TotalWallSeconds += s.WallSeconds
+			trail.TotalVirtualEvents += s.VirtualEvents
+		}
+		writeFile(path, func(f *os.File) error { return trail.WriteJSON(f) })
+		fmt.Printf("updated %s entry in %s\n", id, path)
+		return true
+	}
+
+	g := bidl.CompareBenchStats(baseline, current, tol)
+	g.Render(os.Stdout)
+	return g.OK()
+}
+
+// gateHotpath re-runs the pipeline hot-path benchmark and gates (or
+// rewrites) the BenchmarkPipelineHotPath entry of the hotpath baseline.
+func gateHotpath(path string, tol bidl.GateTolerances, update bool) bool {
+	const entry = "BenchmarkPipelineHotPath"
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	// The file carries narrative fields beyond the gated slice, so decode
+	// generically and only reach into the entry being gated.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	micro, _ := doc["microbenchmarks"].(map[string]any)
+	bent, _ := micro[entry].(map[string]any)
+	if bent == nil {
+		fail(fmt.Errorf("%s: no microbenchmarks.%s entry", path, entry))
+	}
+	baseline := bidl.HotpathStats{
+		NsPerOp:      num(bent["ns_per_op"]),
+		VEventsPerOp: num(bent["vevents_per_op"]),
+		AllocsPerOp:  num(bent["allocs_per_op"]),
+	}
+
+	fmt.Fprintf(os.Stderr, "bidl-perfgate: running %s...\n", entry)
+	r := testing.Benchmark(bench.PipelineHotPath)
+	current := bidl.HotpathStats{
+		NsPerOp:      float64(r.NsPerOp()),
+		VEventsPerOp: r.Extra["vevents/op"],
+		AllocsPerOp:  float64(r.AllocsPerOp()),
+	}
+
+	if update {
+		bent["ns_per_op"] = current.NsPerOp
+		bent["vevents_per_op"] = current.VEventsPerOp
+		bent["allocs_per_op"] = current.AllocsPerOp
+		bent["bytes_per_op"] = float64(r.AllocedBytesPerOp())
+		writeFile(path, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+		fmt.Printf("updated microbenchmarks.%s in %s\n", entry, path)
+		return true
+	}
+
+	g := bidl.CompareHotpath(baseline, current, tol)
+	g.Render(os.Stdout)
+	return g.OK()
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func writeFile(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bidl-perfgate:", err)
+	os.Exit(1)
+}

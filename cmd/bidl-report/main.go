@@ -1,0 +1,99 @@
+// Command bidl-report reproduces the latency-anatomy breakdown offline from
+// a raw trace export: feed it the -trace-jsonl file a run wrote and it
+// prints the same critical-path tables the run's -anatomy flag would have —
+// byte-identical, because both paths feed the same events into the same
+// decomposition (the JSONL schema is frozen; see DESIGN.md §12).
+//
+// Examples:
+//
+//	bidl-sim -rate 4000 -duration 300ms -trace-jsonl run.jsonl
+//	bidl-report -trace-jsonl run.jsonl
+//	bidl-report -trace-jsonl run.jsonl -csv anatomy.csv
+//	bidl-report -trace-jsonl run.jsonl -scenario chaos.json   # fault windows
+//
+// With -scenario, the scenario's fault schedule annotates the report with
+// per-fault-window latency distributions (the windows a live run with
+// `"anatomy": true` would have used).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bidl-framework/bidl"
+)
+
+func main() {
+	var (
+		jsonlPath = flag.String("trace-jsonl", "", "raw trace export to analyze (required)")
+		csvPath   = flag.String("csv", "", "also write the breakdown as CSV to this file")
+		scenPath  = flag.String("scenario", "", "scenario JSON whose fault schedule labels the report's windows")
+		outPath   = flag.String("out", "-", "write the human-readable report here (\"-\" = stdout)")
+	)
+	flag.Parse()
+
+	if *jsonlPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: bidl-report -trace-jsonl <file> [-csv file] [-scenario file] [-out file]")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*jsonlPath)
+	if err != nil {
+		fail(err)
+	}
+	data, err := bidl.ValidateTraceJSONL(f)
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", *jsonlPath, err))
+	}
+
+	var opts bidl.AnatomyOptions
+	if *scenPath != "" {
+		raw, err := os.ReadFile(*scenPath)
+		if err != nil {
+			fail(err)
+		}
+		spec, err := bidl.ParseScenario(raw)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", *scenPath, err))
+		}
+		if err := spec.Validate(); err != nil {
+			fail(fmt.Errorf("%s: %w", *scenPath, err))
+		}
+		opts.Windows = spec.AnatomyWindows()
+	}
+
+	rep := bidl.ComputeAnatomy(data.TxEvents, data.PhaseEvents, opts)
+
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.Render(out); err != nil {
+		fail(err)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.CSV(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bidl-report:", err)
+	os.Exit(1)
+}

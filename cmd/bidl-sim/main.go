@@ -60,6 +60,8 @@ func main() {
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file (load in Perfetto; single run only)")
 		traceJSONL = flag.String("trace-jsonl", "", "write raw trace events as JSON lines (single run only)")
 		telemetry  = flag.Bool("telemetry", false, "print per-node/per-link telemetry and slowest-transaction spans")
+		anatomyOut = flag.String("anatomy", "", "write the critical-path latency anatomy report to this file (\"-\" = stdout; single run only)")
+		anatomyCSV = flag.String("anatomy-csv", "", "also write the latency anatomy as CSV to this file (single run only)")
 	)
 	flag.Parse()
 
@@ -71,9 +73,9 @@ func main() {
 		return
 	}
 
-	tracing := *traceOut != "" || *traceJSONL != "" || *telemetry
+	tracing := *traceOut != "" || *traceJSONL != "" || *telemetry || *anatomyOut != "" || *anatomyCSV != ""
 	if tracing && *runs != 1 {
-		fmt.Fprintln(os.Stderr, "bidl-sim: -trace/-trace-jsonl/-telemetry require -runs 1")
+		fmt.Fprintln(os.Stderr, "bidl-sim: -trace/-trace-jsonl/-telemetry/-anatomy require -runs 1")
 		os.Exit(2)
 	}
 
@@ -125,6 +127,7 @@ func main() {
 		safetyErr error
 		timeline  []float64
 		tracer    *bidl.Tracer
+		reg       *bidl.Registry
 	}
 
 	runOne := func(runSeed int64) outcome {
@@ -193,6 +196,7 @@ func main() {
 			out.timeline = col.Timeline(100*time.Millisecond, total)
 		}
 		out.tracer = cfg.Tracer
+		out.reg = col.Reg
 		return out
 	}
 
@@ -228,6 +232,7 @@ func main() {
 					col.ViewChanges, col.Conflicts, col.Reexecuted, col.DeniedClients),
 				safetyErr: res.SafetyErr,
 				tracer:    rc.Tracer,
+				reg:       col.Reg,
 			}
 			if *timeline && *runs == 1 {
 				out.timeline = col.Timeline(100*time.Millisecond, total)
@@ -294,6 +299,45 @@ func main() {
 		if *telemetry {
 			fmt.Println()
 			tr.WriteSummary(os.Stdout, bidl.TraceSummaryOptions{})
+			if reg := outcomes[0].reg; reg != nil {
+				fmt.Println()
+				if err := reg.WriteSummary(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+					failed = true
+				}
+			}
+		}
+		if *anatomyOut != "" || *anatomyCSV != "" {
+			// Fault windows come from the scenario's schedule (flag mode has
+			// no faults); offline, bidl-report -scenario recovers the same.
+			var windows []bidl.AnatomyWindow
+			if *scenPath != "" {
+				windows = spec.AnatomyWindows()
+			}
+			rep := bidl.ComputeAnatomy(tr.TxEvents(), tr.PhaseEvents(),
+				bidl.AnatomyOptions{Windows: windows})
+			if *anatomyOut == "-" {
+				fmt.Println()
+				if err := rep.Render(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+					failed = true
+				}
+			} else if *anatomyOut != "" {
+				if err := writeTraceFile(*anatomyOut, rep.Render); err != nil {
+					fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+					failed = true
+				} else {
+					fmt.Printf("wrote latency anatomy to %s\n", *anatomyOut)
+				}
+			}
+			if *anatomyCSV != "" {
+				if err := writeTraceFile(*anatomyCSV, rep.CSV); err != nil {
+					fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+					failed = true
+				} else {
+					fmt.Printf("wrote latency anatomy CSV to %s\n", *anatomyCSV)
+				}
+			}
 		}
 		if *traceOut != "" {
 			if err := writeTraceFile(*traceOut, tr.WriteChromeTrace); err != nil {

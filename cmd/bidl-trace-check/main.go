@@ -1,16 +1,29 @@
-// Command bidl-trace-check validates a Chrome trace-event JSON file produced
-// by bidl-sim -trace: the file must parse, declare microsecond-friendly
+// Command bidl-trace-check validates trace exports.
+//
+// Default mode checks a Chrome trace-event JSON file produced by
+// bidl-sim -trace: the file must parse, declare microsecond-friendly
 // metadata, and contain at least one complete ("X") transaction span and one
 // counter ("C") track. Used by `make trace-smoke` to keep the exporter
 // loadable in Perfetto / chrome://tracing.
 //
-// Usage: bidl-trace-check trace.json
+// With -jsonl, the argument is instead a raw -trace-jsonl export: every line
+// must match the frozen schema (DESIGN.md §12), and each transaction's stage
+// timestamps must be non-negative and monotonically non-decreasing — the
+// guarantees bidl-report relies on.
+//
+// Usage:
+//
+//	bidl-trace-check trace.json
+//	bidl-trace-check -jsonl trace.jsonl
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+
+	"github.com/bidl-framework/bidl"
 )
 
 type traceFile struct {
@@ -29,11 +42,17 @@ type event struct {
 }
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: bidl-trace-check <trace.json>")
+	jsonl := flag.Bool("jsonl", false, "validate a raw -trace-jsonl export instead of a Chrome trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bidl-trace-check [-jsonl] <trace-file>")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	if *jsonl {
+		checkJSONL(flag.Arg(0))
+		return
+	}
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err.Error())
 	}
@@ -70,6 +89,24 @@ func main() {
 	}
 	fmt.Printf("ok: %d events (%d spans, %d counters, %d metadata, %d instants)\n",
 		len(tf.TraceEvents), spans, counters, meta, instants)
+}
+
+// checkJSONL validates a raw trace export against the frozen JSONL schema.
+func checkJSONL(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err.Error())
+	}
+	defer f.Close()
+	data, err := bidl.ValidateTraceJSONL(f)
+	if err != nil {
+		fail(err.Error())
+	}
+	if len(data.TxEvents) == 0 {
+		fail("no tx events — no transaction made it through the pipeline")
+	}
+	fmt.Printf("ok: %d tx events, %d phase events, %d node lines, %d link lines\n",
+		len(data.TxEvents), len(data.PhaseEvents), data.NodeLines, data.LinkLines)
 }
 
 func fail(msg string) {

@@ -69,6 +69,9 @@ func (cl *Client) submit(ctx *simnet.Context, txns []*types.Transaction) {
 		}
 		cl.pending[id] = &pendingTx{tx: tx, resps: make(map[string]*EndorseResp), start: ctx.Now()}
 		cl.c.Collector.Submitted(id, ctx.Now())
+		if tr := cl.c.Cfg.Tracer; tr != nil {
+			tr.TxStage(id, trace.StageSubmit, int(cl.ep.ID()), ctx.Now())
+		}
 		for _, org := range tx.Orgs {
 			o := orgIdx(org)
 			if o < 0 || o >= len(cl.c.Peers) || len(cl.c.Peers[o]) == 0 {

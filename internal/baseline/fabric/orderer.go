@@ -7,6 +7,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/consensus"
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -116,6 +117,11 @@ func (o *Orderer) onSubmit(m *SubmitEnvelopes) {
 		}
 		o.byHash[id] = env
 		o.pendingEnvs = append(o.pendingEnvs, env)
+		if tr := o.c.Cfg.Tracer; tr != nil {
+			// The leader orderer accepting the envelope into its batch queue
+			// is Fabric's sequencing point.
+			tr.TxStage(id, trace.StageSequenced, int(o.ep.ID()), o.ctx.Now())
+		}
 	}
 	o.maybeBatch()
 }
@@ -298,6 +304,11 @@ func (o *Orderer) Deliver(seq uint64, v consensus.Value, cert *types.Certificate
 		}
 		// Only the block's view leader disseminates to peers.
 		if o.c.policyLeader(b.Cert, o.replica) == o.idx {
+			if tr := o.c.Cfg.Tracer; tr != nil {
+				for _, env := range b.Envs {
+					tr.TxStage(env.Tx.ID(), trace.StageAgreed, int(o.ep.ID()), o.ctx.Now())
+				}
+			}
 			for _, org := range o.c.Peers {
 				for _, p := range org {
 					o.ctx.Send(p.ep.ID(), b)

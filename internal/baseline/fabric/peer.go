@@ -9,6 +9,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/crypto"
 	"github.com/bidl-framework/bidl/internal/ledger"
 	"github.com/bidl-framework/bidl/internal/simnet"
+	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/types"
 )
 
@@ -86,8 +87,17 @@ func (p *Peer) endorse(ctx *simnet.Context, from simnet.NodeID, m *EndorseReq) {
 		ctx.Send(from, resp)
 		return
 	}
+	// The corresponding org's lead peer is the single stage authority for
+	// execution marks (mirrors the BIDL delegate rule).
+	traceExec := p.c.Cfg.Tracer != nil && p.idxInOrg == 0 && m.Tx.CorrespondingOrg() == p.orgName
+	if traceExec {
+		p.c.Cfg.Tracer.TxStage(m.Tx.ID(), trace.StageExecStart, int(p.ep.ID()), ctx.Now())
+	}
 	ctx.Elapse(costs.ExecTxn)
 	rw := p.c.Registry.Execute(p.state, m.Tx, p.nondet)
+	if traceExec {
+		p.c.Cfg.Tracer.TxStage(m.Tx.ID(), trace.StageExecuted, int(p.ep.ID()), ctx.Now())
+	}
 	resp.Reads, resp.Writes, resp.Aborted = rw.Reads, rw.Writes, rw.Aborted
 	dig := rwDigest(rw.Reads, rw.Writes, rw.Aborted)
 	ctx.Elapse(signCost)
@@ -193,6 +203,12 @@ func (p *Peer) validateAndCommit(ctx *simnet.Context, blk *FabricBlock) {
 		// The first related org's lead peer notifies the client.
 		if p.idxInOrg == 0 && env.Tx.CorrespondingOrg() == p.orgName {
 			notices[env.Tx.Client] = append(notices[env.Tx.Client], CommitEntry{TxID: id, Aborted: aborted})
+			if tr := p.c.Cfg.Tracer; tr != nil {
+				// Block arrival at the committing peer, then the durable
+				// commit after VSCC+MVCC, on the same stage authority.
+				tr.TxStage(id, trace.StageDelivered, int(p.ep.ID()), start)
+				tr.TxStage(id, trace.StagePersisted, int(p.ep.ID()), ctx.Now())
+			}
 		}
 	}
 	// Ledger append.

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The perf-regression gate (`make bench-check`, cmd/bidl-perfgate) compares
+// a fresh measurement against the committed BENCH_*.json trail. Two metric
+// classes with different rigor:
+//
+//   - machine-independent metrics (virtual event counts, allocs/op,
+//     vevents/op) gate tightly — virtual events exactly, the per-op
+//     counters within a small tolerance (they are amortized over b.N, so
+//     the last iteration's rounding moves them slightly);
+//   - wall-clock metrics (events/wall-second, ns/op) gate loosely by
+//     default, because the trail was recorded on a specific machine; the
+//     explicit tolerances exist to catch catastrophic regressions anywhere
+//     and can be tightened via flags on a pinned CI host.
+
+// GateMetric is one baseline-vs-current comparison.
+type GateMetric struct {
+	Name     string
+	Baseline float64
+	Current  float64
+	// Tolerance is the maximum allowed relative regression (0.15 = 15%
+	// worse than baseline passes, more fails). Ignored when Exact.
+	Tolerance float64
+	// HigherIsWorse orients the regression: true for costs (ns/op,
+	// allocs/op), false for rates (events/wall-second).
+	HigherIsWorse bool
+	// Exact requires Baseline == Current (deterministic counters).
+	Exact bool
+}
+
+// Regression returns the signed relative change oriented so that positive
+// means worse (cost grew, or rate shrank).
+func (m GateMetric) Regression() float64 {
+	if m.Baseline == 0 {
+		if m.Current == 0 {
+			return 0
+		}
+		if m.HigherIsWorse {
+			return 1
+		}
+		return -1
+	}
+	d := (m.Current - m.Baseline) / m.Baseline
+	if !m.HigherIsWorse {
+		d = -d
+	}
+	return d
+}
+
+// OK reports whether the metric passes its gate.
+func (m GateMetric) OK() bool {
+	if m.Exact {
+		return m.Baseline == m.Current
+	}
+	return m.Regression() <= m.Tolerance
+}
+
+// GateReport is the full per-metric delta table of one gate run.
+type GateReport struct {
+	Title   string
+	Metrics []GateMetric
+}
+
+// Add appends one comparison.
+func (g *GateReport) Add(m GateMetric) { g.Metrics = append(g.Metrics, m) }
+
+// OK reports whether every metric passed.
+func (g *GateReport) OK() bool {
+	for _, m := range g.Metrics {
+		if !m.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes the per-metric delta table.
+func (g *GateReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "== perf gate: %s ==\n", g.Title)
+	fmt.Fprintf(w, "  %-24s %14s %14s %9s %11s  %s\n",
+		"metric", "baseline", "current", "delta", "tolerance", "status")
+	for _, m := range g.Metrics {
+		tol := fmt.Sprintf("%.1f%%", 100*m.Tolerance)
+		if m.Exact {
+			tol = "exact"
+		}
+		status := "ok"
+		if !m.OK() {
+			status = "FAIL"
+		}
+		delta := 100 * m.Regression()
+		delta += 0 // normalize -0 so the sign prefix renders cleanly
+		sign := "+"
+		if delta < 0 {
+			sign = ""
+		}
+		fmt.Fprintf(w, "  %-24s %14.1f %14.1f %8s%.1f%% %11s  %s\n",
+			m.Name, m.Baseline, m.Current, sign, delta, tol, status)
+	}
+	if g.OK() {
+		fmt.Fprintln(w, "  result: PASS")
+	} else {
+		fmt.Fprintln(w, "  result: FAIL (regression beyond tolerance; deliberate changes refresh baselines with -update)")
+	}
+}
+
+// GateTolerances bundles the gate's flag-tunable limits.
+type GateTolerances struct {
+	// Wall caps the allowed drop in events/wall-second (default 0.9: fail
+	// only past a 10x slowdown — the trail machine differs from CI hosts).
+	Wall float64
+	// NsPerOp caps the allowed growth in the hot-path ns/op (default 9.0,
+	// i.e. 10x, for the same machine-portability reason).
+	NsPerOp float64
+	// AllocsPerOp caps growth in allocs/op (default 0.15 — machine-
+	// independent, so tight).
+	AllocsPerOp float64
+	// VEventsPerOp caps growth in virtual events per op (default 0.10).
+	VEventsPerOp float64
+}
+
+// DefaultGateTolerances returns the portable defaults described above.
+func DefaultGateTolerances() GateTolerances {
+	return GateTolerances{Wall: 0.9, NsPerOp: 9.0, AllocsPerOp: 0.15, VEventsPerOp: 0.10}
+}
+
+// CompareRunStats gates a fresh experiment measurement against its entry in
+// a committed Report: virtual events must match exactly (same scale + seed
+// ⇒ deterministic), events/wall-second within the wall tolerance.
+func CompareRunStats(baseline RunStats, current RunStats, tol GateTolerances) *GateReport {
+	g := &GateReport{Title: fmt.Sprintf("experiment %s", baseline.ID)}
+	g.Add(GateMetric{Name: "virtual_events",
+		Baseline: float64(baseline.VirtualEvents), Current: float64(current.VirtualEvents),
+		Exact: true})
+	g.Add(GateMetric{Name: "events_per_wall_sec",
+		Baseline: baseline.EventsPerSec, Current: current.EventsPerSec,
+		Tolerance: tol.Wall, HigherIsWorse: false})
+	return g
+}
+
+// HotpathStats is the gated slice of one microbenchmark entry in
+// BENCH_hotpath.json.
+type HotpathStats struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	VEventsPerOp float64 `json:"vevents_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// CompareHotpath gates a fresh hot-path benchmark run against the committed
+// microbenchmark baseline.
+func CompareHotpath(baseline, current HotpathStats, tol GateTolerances) *GateReport {
+	g := &GateReport{Title: "BenchmarkPipelineHotPath"}
+	g.Add(GateMetric{Name: "ns_per_op",
+		Baseline: baseline.NsPerOp, Current: current.NsPerOp,
+		Tolerance: tol.NsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "allocs_per_op",
+		Baseline: baseline.AllocsPerOp, Current: current.AllocsPerOp,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "vevents_per_op",
+		Baseline: baseline.VEventsPerOp, Current: current.VEventsPerOp,
+		Tolerance: tol.VEventsPerOp, HigherIsWorse: true})
+	return g
+}
+
+// LoadReport parses a committed BENCH_serial.json-style trail file.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// FindRunStats returns the trail entry for one experiment id.
+func (r *Report) FindRunStats(id string) (RunStats, bool) {
+	for _, s := range r.Experiments {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return RunStats{}, false
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGateMetricOrientation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    GateMetric
+		ok   bool
+	}{
+		{"exact match", GateMetric{Baseline: 100, Current: 100, Exact: true}, true},
+		{"exact mismatch", GateMetric{Baseline: 100, Current: 101, Exact: true}, false},
+		{"cost within tolerance", GateMetric{Baseline: 100, Current: 110, Tolerance: 0.15, HigherIsWorse: true}, true},
+		{"cost beyond tolerance", GateMetric{Baseline: 100, Current: 120, Tolerance: 0.15, HigherIsWorse: true}, false},
+		{"cost improvement passes", GateMetric{Baseline: 100, Current: 50, Tolerance: 0.15, HigherIsWorse: true}, true},
+		{"rate within tolerance", GateMetric{Baseline: 100, Current: 60, Tolerance: 0.5, HigherIsWorse: false}, true},
+		{"rate beyond tolerance", GateMetric{Baseline: 100, Current: 40, Tolerance: 0.5, HigherIsWorse: false}, false},
+		{"rate improvement passes", GateMetric{Baseline: 100, Current: 500, Tolerance: 0.5, HigherIsWorse: false}, true},
+		{"zero baseline zero current", GateMetric{Baseline: 0, Current: 0, Tolerance: 0.1, HigherIsWorse: true}, true},
+	}
+	for _, c := range cases {
+		if got := c.m.OK(); got != c.ok {
+			t.Errorf("%s: OK() = %v, want %v (regression %.3f)", c.name, got, c.ok, c.m.Regression())
+		}
+	}
+}
+
+// TestPerfGateFailsOnDoctoredBaseline is the gate's negative test: a
+// baseline doctored to claim fewer virtual events or fewer allocations than
+// the current run must fail the gate with a rendered FAIL row.
+func TestPerfGateFailsOnDoctoredBaseline(t *testing.T) {
+	tol := DefaultGateTolerances()
+	current := RunStats{ID: "fig5", VirtualEvents: 386786, EventsPerSec: 50000}
+
+	honest := RunStats{ID: "fig5", VirtualEvents: 386786, EventsPerSec: 48000}
+	if g := CompareRunStats(honest, current, tol); !g.OK() {
+		var buf bytes.Buffer
+		g.Render(&buf)
+		t.Fatalf("honest baseline failed the gate:\n%s", buf.String())
+	}
+
+	doctored := RunStats{ID: "fig5", VirtualEvents: 386785, EventsPerSec: 48000}
+	g := CompareRunStats(doctored, current, tol)
+	if g.OK() {
+		t.Fatal("doctored virtual_events baseline passed the gate")
+	}
+	var buf bytes.Buffer
+	g.Render(&buf)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "virtual_events") {
+		t.Errorf("render missing FAIL row:\n%s", buf.String())
+	}
+
+	// Hot-path side: doctor allocs/op far below the current run.
+	curHP := HotpathStats{NsPerOp: 300000, AllocsPerOp: 309, VEventsPerOp: 24.3}
+	if g := CompareHotpath(HotpathStats{NsPerOp: 350000, AllocsPerOp: 310, VEventsPerOp: 24.4}, curHP, tol); !g.OK() {
+		t.Fatal("honest hotpath baseline failed the gate")
+	}
+	if g := CompareHotpath(HotpathStats{NsPerOp: 350000, AllocsPerOp: 200, VEventsPerOp: 24.4}, curHP, tol); g.OK() {
+		t.Fatal("doctored allocs_per_op baseline passed the gate")
+	}
+	// Wall-clock metrics only fail past the generous portability tolerance.
+	slow := CompareRunStats(RunStats{ID: "fig5", VirtualEvents: 386786, EventsPerSec: 500001},
+		RunStats{ID: "fig5", VirtualEvents: 386786, EventsPerSec: 50000}, tol)
+	if slow.OK() {
+		t.Fatal("10x events/wall-sec drop passed the gate")
+	}
+}
+
+func TestLoadReportAndFind(t *testing.T) {
+	r, err := LoadReport("../../BENCH_serial.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.FindRunStats("fig5")
+	if !ok || s.VirtualEvents == 0 {
+		t.Fatalf("fig5 stats = %+v, ok=%v", s, ok)
+	}
+	if _, ok := r.FindRunStats("no-such-experiment"); ok {
+		t.Fatal("found a stats entry that does not exist")
+	}
+}

@@ -521,6 +521,10 @@ func (n *NormalNode) armGapTimer() {
 // executeSpec speculatively executes one related transaction and feeds the
 // result into the persist pipeline.
 func (n *NormalNode) executeSpec(seq uint64, tx *types.Transaction) {
+	if tr := n.c.tracer; tr != nil && n.isDelegate() &&
+		orgIndex(tx.CorrespondingOrg()) == n.org {
+		tr.TxStage(tx.ID(), trace.StageExecStart, int(n.ep.ID()), n.ctx.Now())
+	}
 	n.ctx.Elapse(n.c.Cfg.Costs.ExecTxn)
 	rw := n.c.Registry.Execute(n.overlay, tx, n.nondet)
 	// The redundant non-determinism check must run against the same

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteSummary renders the registry's counters and log2 histograms as a
+// deterministic text block: names sorted, one line per metric. Histograms
+// print count, mean, exact min/max, and the p50/p95/p99 upper bounds from
+// Quantile. An empty registry prints nothing (no header), so callers can
+// append it to other summaries unconditionally.
+func (r *Registry) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters := r.CounterNames()
+	hists := r.HistogramNames()
+	if len(counters) == 0 && len(hists) == 0 {
+		return nil
+	}
+	ew := &summaryWriter{w: w}
+	p := func(format string, args ...any) { fmt.Fprintf(ew, format, args...) }
+	p("registry metrics:\n")
+	for _, name := range counters {
+		p("  counter  %-24s %d\n", name, r.Counter(name))
+	}
+	for _, name := range hists {
+		h := r.Histogram(name)
+		p("  hist     %-24s n=%-8d mean=%-10s min=%-10s max=%-10s p50<=%-10s p95<=%-10s p99<=%s\n",
+			name, h.Count(), fmtDur(h.Avg()), fmtDur(h.Min()), fmtDur(h.Max()),
+			fmtDur(h.Quantile(0.50)), fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
+	}
+	return ew.err
+}
+
+// fmtDur renders a duration compactly and deterministically (Go's
+// time.Duration String is stable across runs for identical values).
+func fmtDur(d time.Duration) string { return d.String() }
+
+type summaryWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *summaryWriter) Write(b []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	n, err := s.w.Write(b)
+	s.err = err
+	return n, err
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var summaryGoldenUpdate = flag.Bool("golden-update", false, "rewrite the registry summary golden file")
+
+func populated() *Registry {
+	r := NewRegistry()
+	r.Inc("batches", 41)
+	r.Inc("aborts", 3)
+	r.Inc("view-changes", 0)
+	for i := 1; i <= 100; i++ {
+		r.Observe("persist-wait", time.Duration(i)*50*time.Microsecond)
+	}
+	r.Observe("fetch-gap", 3*time.Millisecond)
+	return r
+}
+
+// TestRegistrySummaryGolden pins the -telemetry registry block byte-for-byte:
+// sorted names, stable formatting. Regenerate deliberately with
+//
+//	go test ./internal/metrics -run TestRegistrySummaryGolden -golden-update
+func TestRegistrySummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populated().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden-registry-summary.txt")
+	if *summaryGoldenUpdate {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -golden-update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestRegistrySummaryEmptyAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRegistry().WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty registry summary = %q, want nothing", buf.String())
+	}
+	var nilReg *Registry
+	if err := nilReg.WriteSummary(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry summary = %q err %v", buf.String(), err)
+	}
+}
+
+func TestRegistrySummaryDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := populated().WriteSummary(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := populated().WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("registry summaries of identical registries differ")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/bidl-framework/bidl/internal/metrics"
 	"github.com/bidl-framework/bidl/internal/simnet"
 	"github.com/bidl-framework/bidl/internal/trace"
+	"github.com/bidl-framework/bidl/internal/trace/anatomy"
 	"github.com/bidl-framework/bidl/internal/workload"
 )
 
@@ -39,6 +40,10 @@ type Result struct {
 	Collector *metrics.Collector
 	// SafetyErr is the end-of-run consistency audit result (nil = safe).
 	SafetyErr error
+	// Anatomy is the latency-anatomy breakdown, present when the spec sets
+	// Anatomy (or the caller supplied a tracer and set Anatomy): stage
+	// waits, phase transitions, overlap ratio, and fault-window annotation.
+	Anatomy *anatomy.Report
 }
 
 // RunConfig carries runtime-only knobs that are deliberately not part of
@@ -72,6 +77,14 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {
 		return Result{}, err
+	}
+
+	// The anatomy breakdown needs lifecycle events: create a private tracer
+	// when the spec requests anatomy and the caller brought none.
+	tracer := rc.Tracer
+	if s.Anatomy && tracer == nil {
+		tracer = trace.New(trace.Options{})
+		rc.Tracer = tracer
 	}
 
 	window := s.Load.Window.D()
@@ -133,7 +146,7 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	}
 
 	col := h.Metrics()
-	return Result{
+	res := Result{
 		Submitted:   n,
 		Throughput:  col.EffectiveThroughput(warmup, window),
 		AvgLatency:  col.AvgLatency(warmup, window),
@@ -144,7 +157,33 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 		Events:      h.VirtualEvents(),
 		Collector:   col,
 		SafetyErr:   h.CheckSafety(),
-	}, nil
+	}
+	if s.Anatomy && tracer != nil {
+		res.Anatomy = anatomy.Compute(tracer.TxEvents(), tracer.PhaseEvents(),
+			anatomy.Options{Windows: s.AnatomyWindows()})
+	}
+	return res, nil
+}
+
+// AnatomyWindows compiles the fault schedule into anatomy fault windows,
+// labeled by kind and target. Exposed so the offline report path
+// (cmd/bidl-report) can reproduce the in-process annotation from a spec.
+func (s Scenario) AnatomyWindows() []anatomy.Window {
+	faults := s.compiledFaults()
+	out := make([]anatomy.Window, 0, len(faults))
+	for _, f := range faults {
+		label := f.Kind
+		switch f.Kind {
+		case chaos.KindCrash:
+			label = fmt.Sprintf("%s org%d/node%d", f.Kind, f.Org, f.Node)
+		case chaos.KindPartition, chaos.KindChurn:
+			label = fmt.Sprintf("%s org%d", f.Kind, f.Org)
+		case chaos.KindDCOutage:
+			label = fmt.Sprintf("%s dc%d", f.Kind, f.DC)
+		}
+		out = append(out, anatomy.Window{Label: label, Start: f.At, End: f.End()})
+	}
+	return out
 }
 
 // ScheduleTicks drives fn once per millisecond with the txn count owed at

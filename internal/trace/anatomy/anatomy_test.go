@@ -1,0 +1,196 @@
+package anatomy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bidl-framework/bidl/internal/trace"
+)
+
+func txid(b byte) trace.TxID {
+	var id trace.TxID
+	id[0] = b
+	return id
+}
+
+// mkEvents builds a small BIDL-shaped stream: submit → sequenced → delivered
+// → exec-start → executed → agreed → persisted → notified, with execution
+// fully inside the consensus interval.
+func mkEvents() ([]trace.TxEvent, []trace.PhaseEvent) {
+	var txs []trace.TxEvent
+	at := func(tx byte, s trace.Stage, ms int) trace.TxEvent {
+		return trace.TxEvent{Tx: txid(tx), Stage: s, Node: 1,
+			At: time.Duration(ms) * time.Millisecond}
+	}
+	for i := byte(1); i <= 4; i++ {
+		base := int(i)
+		txs = append(txs,
+			at(i, trace.StageSubmit, base),
+			at(i, trace.StageSequenced, base+1),
+			at(i, trace.StageDelivered, base+2),
+			at(i, trace.StageExecStart, base+3),
+			at(i, trace.StageExecuted, base+5),
+			at(i, trace.StageAgreed, base+7),
+			at(i, trace.StagePersisted, base+8),
+			at(i, trace.StageNotified, base+10),
+		)
+	}
+	phases := []trace.PhaseEvent{
+		{Name: "pre-prepare", Node: 2, View: 0, Seq: 1, At: 2 * time.Millisecond},
+		{Name: "prepared", Node: 2, View: 0, Seq: 1, At: 4 * time.Millisecond},
+		{Name: "committed", Node: 2, View: 0, Seq: 1, At: 6 * time.Millisecond},
+		{Name: "pre-prepare", Node: 2, View: 0, Seq: 2, At: 5 * time.Millisecond},
+		{Name: "prepared", Node: 2, View: 0, Seq: 2, At: 9 * time.Millisecond},
+	}
+	return txs, phases
+}
+
+func TestComputeBasics(t *testing.T) {
+	txs, phases := mkEvents()
+	r := Compute(txs, phases, Options{})
+	if r.Complete != 4 || r.Incomplete != 0 {
+		t.Fatalf("complete=%d incomplete=%d, want 4/0", r.Complete, r.Incomplete)
+	}
+	wantOrder := []trace.Stage{trace.StageSubmit, trace.StageSequenced, trace.StageDelivered,
+		trace.StageExecStart, trace.StageExecuted, trace.StageAgreed, trace.StagePersisted,
+		trace.StageNotified}
+	if len(r.Order) != len(wantOrder) {
+		t.Fatalf("order = %v", r.Order)
+	}
+	for i, s := range wantOrder {
+		if r.Order[i] != s {
+			t.Fatalf("order[%d] = %v, want %v", i, r.Order[i], s)
+		}
+	}
+	if r.E2E.P50 != 10*time.Millisecond || r.E2E.Count != 4 {
+		t.Errorf("e2e = %+v, want p50 10ms over 4", r.E2E)
+	}
+	// Execution [base+3, base+5] sits entirely inside consensus [base+1, base+7].
+	if r.Overlap.Ratio != 1.0 {
+		t.Errorf("overlap ratio = %v, want 1.0", r.Overlap.Ratio)
+	}
+	if r.Overlap.BeforeAgreedFrac != 1.0 {
+		t.Errorf("before-agreed = %v, want 1.0", r.Overlap.BeforeAgreedFrac)
+	}
+	// Phase transitions aggregate across sequence numbers, sorted by label.
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %+v", r.Phases)
+	}
+	if r.Phases[0].Label != "pre-prepare→prepared" || r.Phases[0].Count != 2 {
+		t.Errorf("phase[0] = %+v", r.Phases[0])
+	}
+	if r.Phases[1].Label != "prepared→committed" || r.Phases[1].Count != 1 {
+		t.Errorf("phase[1] = %+v", r.Phases[1])
+	}
+}
+
+// TestWaitsSumToEndToEnd is the core invariant: the frontier decomposition
+// charges every nanosecond of submit→notified latency to exactly one stage.
+func TestWaitsSumToEndToEnd(t *testing.T) {
+	txs, phases := mkEvents()
+	// Add an out-of-order mark (persist after agreed but recorded with an
+	// earlier timestamp than the frontier) to exercise the max(0, ...) path.
+	txs = append(txs,
+		trace.TxEvent{Tx: txid(9), Stage: trace.StageSubmit, At: 100 * time.Millisecond},
+		trace.TxEvent{Tx: txid(9), Stage: trace.StageAgreed, At: 120 * time.Millisecond},
+		trace.TxEvent{Tx: txid(9), Stage: trace.StagePersisted, At: 110 * time.Millisecond},
+		trace.TxEvent{Tx: txid(9), Stage: trace.StageNotified, At: 130 * time.Millisecond},
+	)
+	r := Compute(txs, phases, Options{})
+	if len(r.Breakdowns) != r.Complete {
+		t.Fatalf("breakdowns = %d, complete = %d", len(r.Breakdowns), r.Complete)
+	}
+	for _, bd := range r.Breakdowns {
+		var sum time.Duration
+		for _, w := range bd.Waits {
+			if w < 0 {
+				t.Fatalf("tx %x: negative wait %v", bd.Tx[:2], w)
+			}
+			sum += w
+		}
+		if want := bd.Notified - bd.Submit; sum != want {
+			t.Errorf("tx %x: waits sum %v != e2e %v", bd.Tx[:2], sum, want)
+		}
+	}
+}
+
+func TestIncompleteTxsAreDropped(t *testing.T) {
+	txs, _ := mkEvents()
+	txs = append(txs, trace.TxEvent{Tx: txid(50), Stage: trace.StageSubmit, At: time.Millisecond})
+	r := Compute(txs, nil, Options{})
+	if r.Complete != 4 || r.Incomplete != 1 {
+		t.Fatalf("complete=%d incomplete=%d, want 4/1", r.Complete, r.Incomplete)
+	}
+}
+
+func TestWindowAnnotation(t *testing.T) {
+	txs, _ := mkEvents() // tx i: submit at i ms, notified at i+10 ms
+	r := Compute(txs, nil, Options{Windows: []Window{
+		{Label: "crash cn0", Start: 3 * time.Millisecond, End: 4 * time.Millisecond},
+		{Label: "storm", Start: 200 * time.Millisecond, End: openEnd},
+	}})
+	if len(r.Windows) != 3 {
+		t.Fatalf("windows = %+v", r.Windows)
+	}
+	// [3ms,4ms) intersects the lifetime of txs 1..3 (tx4 submits at 4ms).
+	if r.Windows[0].Count != 3 {
+		t.Errorf("window[0] count = %d, want 3", r.Windows[0].Count)
+	}
+	if r.Windows[1].Count != 0 {
+		t.Errorf("window[1] count = %d, want 0", r.Windows[1].Count)
+	}
+	if r.Windows[2].Label != "outside windows" || r.Windows[2].Count != 1 {
+		t.Errorf("window[2] = %+v, want outside count 1", r.Windows[2])
+	}
+}
+
+func TestRenderAndCSVDeterministic(t *testing.T) {
+	txs, phases := mkEvents()
+	opts := Options{Windows: []Window{{Label: "crash cn0", Start: 3 * time.Millisecond, End: openEnd}}}
+	var a, b, ca, cb bytes.Buffer
+	if err := Compute(txs, phases, opts).Render(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compute(txs, phases, opts).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Render not deterministic")
+	}
+	if err := Compute(txs, phases, opts).CSV(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compute(txs, phases, opts).CSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ca.Bytes(), cb.Bytes()) {
+		t.Error("CSV not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{"latency anatomy", "critical-path stage waits",
+		"speculative-execution overlap", "consensus phase transitions",
+		"fault windows", "∞"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(ca.String(), "section,label,metric,value") {
+		t.Errorf("csv missing header:\n%s", ca.String())
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	r := Compute(nil, nil, Options{})
+	if r.Complete != 0 || r.Incomplete != 0 {
+		t.Fatalf("empty compute = %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no complete transactions") {
+		t.Errorf("empty render = %q", buf.String())
+	}
+}

@@ -1,0 +1,125 @@
+package anatomy
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ms renders a virtual duration as fractional milliseconds. All duration
+// values are exact nanosecond counts, so the formatting is deterministic.
+func ms(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond)) }
+
+// endLabel renders a window end, treating the chaos open-end sentinel.
+func endLabel(d time.Duration) string {
+	if d >= openEnd {
+		return "∞"
+	}
+	return ms(d)
+}
+
+// Render writes the human-readable anatomy tables. Output is
+// byte-deterministic for a given Report.
+func (r *Report) Render(w io.Writer) error {
+	ew := &errWriter{w: w}
+	p := func(format string, args ...any) { fmt.Fprintf(ew, format, args...) }
+
+	p("== latency anatomy ==\n")
+	p("transactions: %d complete, %d incomplete (dropped)\n", r.Complete, r.Incomplete)
+	if r.Complete == 0 {
+		p("no complete transactions traced\n")
+		return ew.err
+	}
+	p("end-to-end submit→notified (ms): p50 %s  p95 %s  p99 %s  mean %s\n",
+		ms(r.E2E.P50), ms(r.E2E.P95), ms(r.E2E.P99), ms(r.E2E.Mean))
+
+	p("\ncritical-path stage waits, observed order (ms):\n")
+	p("  %-12s %7s %10s %10s %10s %10s %7s\n", "stage", "count", "p50", "p95", "p99", "mean", "share")
+	for _, st := range r.Stages {
+		p("  %-12s %7d %10s %10s %10s %10s %6.1f%%\n", st.Stage.String(), st.Count,
+			ms(st.P50), ms(st.P95), ms(st.P99), ms(st.Mean), 100*st.Share)
+	}
+
+	p("\nspeculative-execution overlap:\n")
+	if r.Overlap.ExecTxs == 0 {
+		p("  no measured execution intervals (framework records no exec-start/executed marks)\n")
+	} else {
+		p("  execution hidden under consensus: %.1f%% (exec total %s ms, hidden %s ms, %d txs)\n",
+			100*r.Overlap.Ratio, ms(r.Overlap.ExecTotal), ms(r.Overlap.Hidden), r.Overlap.ExecTxs)
+		p("  executed before consensus agreement: %.1f%% of txs\n", 100*r.Overlap.BeforeAgreedFrac)
+	}
+
+	if len(r.Phases) > 0 {
+		p("\nconsensus phase transitions (ms):\n")
+		p("  %-28s %7s %10s %10s %10s\n", "transition", "count", "p50", "p95", "p99")
+		for _, ph := range r.Phases {
+			p("  %-28s %7d %10s %10s %10s\n", ph.Label, ph.Count, ms(ph.P50), ms(ph.P95), ms(ph.P99))
+		}
+	}
+
+	if len(r.Windows) > 0 {
+		p("\nfault windows, e2e latency (ms):\n")
+		p("  %-36s %7s %10s %10s\n", "window", "txs", "p50", "p99")
+		for _, ws := range r.Windows {
+			label := ws.Label
+			if label != "outside windows" {
+				label = fmt.Sprintf("%s [%s, %s)", ws.Label, ms(ws.Start), endLabel(ws.End))
+			}
+			p("  %-36s %7d %10s %10s\n", label, ws.Count, ms(ws.P50), ms(ws.P99))
+		}
+	}
+	return ew.err
+}
+
+// CSV writes the anatomy as section,label,metric,value rows — one flat table
+// covering every number Render prints, deterministic row order.
+func (r *Report) CSV(w io.Writer) error {
+	ew := &errWriter{w: w}
+	p := func(format string, args ...any) { fmt.Fprintf(ew, format, args...) }
+	row := func(section, label, metric, value string) {
+		p("%s,%s,%s,%s\n", section, label, metric, value)
+	}
+	d := func(section, label string, di Dist) {
+		row(section, label, "count", fmt.Sprintf("%d", di.Count))
+		row(section, label, "p50_ms", ms(di.P50))
+		row(section, label, "p95_ms", ms(di.P95))
+		row(section, label, "p99_ms", ms(di.P99))
+		row(section, label, "mean_ms", ms(di.Mean))
+	}
+
+	p("section,label,metric,value\n")
+	row("meta", "transactions", "complete", fmt.Sprintf("%d", r.Complete))
+	row("meta", "transactions", "incomplete", fmt.Sprintf("%d", r.Incomplete))
+	d("e2e", "submit→notified", r.E2E)
+	for _, st := range r.Stages {
+		d("stage", st.Stage.String(), st.Dist)
+		row("stage", st.Stage.String(), "share", fmt.Sprintf("%.4f", st.Share))
+	}
+	row("overlap", "exec-under-consensus", "exec_txs", fmt.Sprintf("%d", r.Overlap.ExecTxs))
+	row("overlap", "exec-under-consensus", "exec_total_ms", ms(r.Overlap.ExecTotal))
+	row("overlap", "exec-under-consensus", "hidden_ms", ms(r.Overlap.Hidden))
+	row("overlap", "exec-under-consensus", "ratio", fmt.Sprintf("%.4f", r.Overlap.Ratio))
+	row("overlap", "exec-under-consensus", "before_agreed_frac", fmt.Sprintf("%.4f", r.Overlap.BeforeAgreedFrac))
+	for _, ph := range r.Phases {
+		d("phase", ph.Label, ph.Dist)
+	}
+	for _, ws := range r.Windows {
+		d("window", ws.Label, ws.Dist)
+	}
+	return ew.err
+}
+
+// errWriter folds write errors into one sticky error (mirrors trace.errWriter).
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(b []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(b)
+	e.err = err
+	return n, err
+}

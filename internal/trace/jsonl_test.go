@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJSONLRoundTrip pins the frozen schema: every tx/phase event written by
+// WriteJSONL must be recovered exactly — including nanosecond-exact
+// timestamps through the float64 microsecond encoding — and the telemetry
+// line counts must match what the tracer buffered.
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	record(tr)
+	// An awkward timestamp that is not a whole microsecond.
+	tr.TxStage(txid(9), StageSubmit, 3, 1234567891*time.Nanosecond)
+	tr.TxStage(txid(9), StageNotified, 3, 1234567999*time.Nanosecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTx := tr.TxEvents()
+	if len(data.TxEvents) != len(wantTx) {
+		t.Fatalf("tx events = %d, want %d", len(data.TxEvents), len(wantTx))
+	}
+	for i, e := range data.TxEvents {
+		if e != wantTx[i] {
+			t.Errorf("tx event %d = %+v, want %+v", i, e, wantTx[i])
+		}
+	}
+	wantPh := tr.PhaseEvents()
+	if len(data.PhaseEvents) != len(wantPh) {
+		t.Fatalf("phase events = %d, want %d", len(data.PhaseEvents), len(wantPh))
+	}
+	for i, e := range data.PhaseEvents {
+		if e != wantPh[i] {
+			t.Errorf("phase event %d = %+v, want %+v", i, e, wantPh[i])
+		}
+	}
+	if data.NodeLines == 0 {
+		t.Error("no node telemetry lines parsed")
+	}
+	if data.LinkLines == 0 {
+		t.Error("no link telemetry lines parsed")
+	}
+}
+
+func TestValidateJSONLAcceptsExport(t *testing.T) {
+	tr := New(Options{})
+	record(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateJSONL(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("valid export rejected: %v", err)
+	}
+}
+
+func TestValidateJSONLRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name, line, wantErr string
+	}{
+		{"unknown type", `{"type":"mystery","ts_us":1}`, "unknown event type"},
+		{"unknown field", `{"type":"tx","tx":"` + strings.Repeat("0", 64) + `","stage":"submit","ts_us":1,"bogus":2}`, "bogus"},
+		{"short tx id", `{"type":"tx","tx":"abcd","stage":"submit","ts_us":1}`, "bad tx id"},
+		{"unknown stage", `{"type":"tx","tx":"` + strings.Repeat("0", 64) + `","stage":"warp","ts_us":1}`, "unknown stage"},
+		{"nameless phase", `{"type":"phase","ts_us":1}`, "without name"},
+		{"not json", `garbage`, "line 1"},
+	}
+	for _, c := range cases {
+		if _, err := ValidateJSONL(strings.NewReader(c.line + "\n")); err == nil ||
+			!strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+	// Non-monotonic per-tx timestamps are a validation (not schema) failure.
+	id := strings.Repeat("0", 64)
+	nonMono := `{"type":"tx","tx":"` + id + `","stage":"submit","ts_us":100}` + "\n" +
+		`{"type":"tx","tx":"` + id + `","stage":"sequenced","ts_us":50}` + "\n"
+	if _, err := ValidateJSONL(strings.NewReader(nonMono)); err == nil ||
+		!strings.Contains(err.Error(), "precedes") {
+		t.Errorf("non-monotonic: err = %v, want precedes", err)
+	}
+	if data, err := ReadJSONL(strings.NewReader(nonMono)); err != nil || len(data.TxEvents) != 2 {
+		t.Errorf("ReadJSONL should accept non-monotonic schema-valid input, got %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCommitSeriesWidthLargerThanHorizon(t *testing.T) {
+	tr := New(Options{})
+	tr.TxStage(txid(1), StageNotified, 0, 3*time.Millisecond)
+	tr.TxStage(txid(2), StageNotified, 0, 7*time.Millisecond)
+	// Width far beyond the horizon: everything lands in one bucket.
+	got := tr.CommitSeries(time.Hour)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("series = %v, want [2]", got)
+	}
+}
+
+func TestCommitSeriesZeroCommits(t *testing.T) {
+	tr := New(Options{})
+	// Lifecycle activity without any commit notification.
+	tr.TxStage(txid(1), StageSubmit, 0, time.Millisecond)
+	tr.TxStage(txid(1), StageSequenced, 1, 2*time.Millisecond)
+	if got := tr.CommitSeries(10 * time.Millisecond); len(got) != 0 {
+		t.Fatalf("series = %v, want empty", got)
+	}
+}
+
+func TestCommitSeriesBoundaryCommit(t *testing.T) {
+	tr := New(Options{})
+	// A commit exactly on a bucket boundary belongs to the bucket it opens:
+	// 20ms / 10ms = bucket 2, not bucket 1.
+	tr.TxStage(txid(1), StageNotified, 0, 10*time.Millisecond)
+	tr.TxStage(txid(2), StageNotified, 0, 20*time.Millisecond)
+	got := tr.CommitSeries(10 * time.Millisecond)
+	want := []int{0, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("series = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCommitSeriesNilAndBadWidth(t *testing.T) {
+	var nilTr *Tracer
+	if got := nilTr.CommitSeries(time.Millisecond); got != nil {
+		t.Fatalf("nil tracer series = %v", got)
+	}
+	tr := New(Options{})
+	tr.TxStage(txid(1), StageNotified, 0, time.Millisecond)
+	if got := tr.CommitSeries(0); got != nil {
+		t.Fatalf("zero-width series = %v", got)
+	}
+	if got := tr.CommitSeries(-time.Second); got != nil {
+		t.Fatalf("negative-width series = %v", got)
+	}
+}

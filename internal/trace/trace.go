@@ -33,6 +33,7 @@ const (
 	StageSubmit    Stage = iota // client hands the tx to the framework
 	StageSequenced              // sequencer assigns a sequence number
 	StageDelivered              // multicast reaches the corresponding org
+	StageExecStart              // execution work begins (dequeue → CPU)
 	StageExecuted               // speculative execution finishes (Phase 4-1)
 	StagePersisted              // persist quorum forms (Phase 4-2)
 	StageAgreed                 // consensus orders the tx hash (Phase 3)
@@ -41,7 +42,7 @@ const (
 )
 
 var stageNames = [NumStages]string{
-	"submit", "sequenced", "delivered", "executed", "persisted", "agreed", "notified",
+	"submit", "sequenced", "delivered", "exec-start", "executed", "persisted", "agreed", "notified",
 }
 
 // String returns the stage's export label.
@@ -50,6 +51,18 @@ func (s Stage) String() string {
 		return stageNames[s]
 	}
 	return fmt.Sprintf("stage%d", int(s))
+}
+
+// StageFromName maps an export label back to its Stage — the inverse of
+// String, used by the JSONL reader. The second return is false for unknown
+// labels.
+func StageFromName(name string) (Stage, bool) {
+	for i, n := range stageNames {
+		if n == name {
+			return Stage(i), true
+		}
+	}
+	return 0, false
 }
 
 // TxEvent is one lifecycle mark: transaction tx reached stage on node at

@@ -52,14 +52,20 @@ func TestNilTracerIsDisabled(t *testing.T) {
 }
 
 func TestStageNames(t *testing.T) {
-	want := []string{"submit", "sequenced", "delivered", "executed", "persisted", "agreed", "notified"}
+	want := []string{"submit", "sequenced", "delivered", "exec-start", "executed", "persisted", "agreed", "notified"}
 	for i, w := range want {
 		if got := Stage(i).String(); got != w {
 			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
 		}
+		if s, ok := StageFromName(w); !ok || s != Stage(i) {
+			t.Errorf("StageFromName(%q) = %v,%v, want %d,true", w, s, ok, i)
+		}
 	}
 	if got := Stage(200).String(); got != "stage200" {
 		t.Errorf("out-of-range stage = %q", got)
+	}
+	if _, ok := StageFromName("no-such-stage"); ok {
+		t.Error("StageFromName accepted an unknown label")
 	}
 }
 
