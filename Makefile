@@ -7,7 +7,7 @@ GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
 	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes \
-	chaos-smoke anatomy-smoke bench-check
+	chaos-smoke anatomy-smoke bench-check workload-smoke bench-workload
 
 all: build
 
@@ -29,7 +29,7 @@ fmt-check:
 	fi
 
 ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke chaos-smoke \
-	anatomy-smoke bench-check
+	anatomy-smoke workload-smoke bench-check
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -116,11 +116,29 @@ anatomy-smoke:
 	@cmp /tmp/bidl-anatomy.csv /tmp/bidl-anatomy-offline.csv
 	@echo "anatomy-smoke: offline report byte-identical to in-process"
 
-# Perf-regression gate: re-measure the fig5 trail entry and the pipeline
-# hot-path benchmark, compare against the committed BENCH_serial.json /
-# BENCH_hotpath.json baselines with explicit tolerances (virtual-event
-# counts exactly; wall-clock loosely — see cmd/bidl-perfgate). After a
-# deliberate perf/behavior change: go run ./cmd/bidl-perfgate -update
+# Million-user memory smoke: the 10⁶-account Zipf scenario must run to a
+# clean safety check under a hard 256 MiB GOMEMLIMIT, and the post-run live
+# heap must stay under 192 MiB (-heap-check). Only O(1)-per-node
+# prepopulation passes: materializing 2×10⁶ entries in every node state
+# would need gigabytes.
+workload-smoke:
+	GOMEMLIMIT=256MiB $(GO) run ./cmd/bidl-sim \
+		-scenario examples/scenario-zipf-million.json -heap-check 201326592
+
+# Full workload microbenchmark suite: per-node prepopulation (O(1) via the
+# shared copy-on-write base) and per-transaction generation under Zipf skew
+# + settlement flows.
+bench-workload:
+	$(GO) test ./internal/bench/ -run XXX \
+		-bench 'BenchmarkPrepopulate|BenchmarkGeneratorNext' -benchtime 2s
+
+# Perf-regression gate: re-measure the fig5 trail entry, the pipeline
+# hot-path benchmark, and the workload microbenchmarks (including the
+# memory-per-account flatness curve), compare against the committed
+# BENCH_serial.json / BENCH_hotpath.json / BENCH_workload.json baselines
+# with explicit tolerances (virtual-event counts exactly; machine-independent
+# bytes/allocs/flatness tightly; wall-clock loosely — see cmd/bidl-perfgate).
+# After a deliberate perf/behavior change: go run ./cmd/bidl-perfgate -update
 bench-check:
 	$(GO) run ./cmd/bidl-perfgate
 

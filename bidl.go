@@ -118,6 +118,11 @@ type (
 	GateTolerances = bench.GateTolerances
 	// HotpathStats is the gated slice of a hot-path microbenchmark entry.
 	HotpathStats = bench.HotpathStats
+	// WorkloadStats is the gated slice of the workload microbenchmark
+	// baseline (BENCH_workload.json).
+	WorkloadStats = bench.WorkloadStats
+	// PrepopPoint is one account count on the memory-per-account curve.
+	PrepopPoint = bench.PrepopPoint
 )
 
 // FaultKinds returns the fault-injection taxonomy accepted by a scenario's
@@ -262,6 +267,13 @@ func CompareBenchStats(baseline, current BenchStats, tol GateTolerances) *GateRe
 // microbenchmark baseline.
 func CompareHotpath(baseline, current HotpathStats, tol GateTolerances) *GateReport {
 	return bench.CompareHotpath(baseline, current, tol)
+}
+
+// CompareWorkload gates fresh workload microbenchmark runs (prepopulation
+// cost, per-transaction generation cost, memory-per-account flatness)
+// against the committed BENCH_workload.json baseline.
+func CompareWorkload(baseline, current WorkloadStats, tol GateTolerances) *GateReport {
+	return bench.CompareWorkload(baseline, current, tol)
 }
 
 // LoadBenchReport parses a committed BENCH_serial.json-style trail file.

@@ -3,7 +3,7 @@
 // a per-metric delta table when the current tree regresses beyond explicit
 // tolerances.
 //
-// Two baselines are gated:
+// Three baselines are gated:
 //
 //   - BENCH_serial.json (-report): one experiment (-experiment, default
 //     fig5) is re-run at the trail's recorded scale/seed/workers. Virtual
@@ -14,9 +14,15 @@
 //   - BENCH_hotpath.json (-hotpath): the pipeline hot-path microbenchmark is
 //     re-run via testing.Benchmark. allocs/op and vevents/op are
 //     machine-independent and gate tightly; ns/op gates loosely.
+//   - BENCH_workload.json (-workload): the workload microbenchmarks
+//     (per-node prepopulation at 10⁶ accounts, per-transaction generation
+//     under skew + settlement) re-run via testing.Benchmark, plus the
+//     memory-per-account curve across 10⁴..10⁷ accounts whose flatness
+//     ratio (max/min bytes/op) pins prepopulation at O(1) in the account
+//     count. bytes/op, allocs/op, and flatness gate tightly; ns/op loosely.
 //
 // After a deliberate perf or behavior change, refresh the baselines with
-// -update (re-measures and rewrites both files in place).
+// -update (re-measures and rewrites the files in place).
 //
 // Examples:
 //
@@ -42,6 +48,7 @@ func main() {
 		reportPath = flag.String("report", "BENCH_serial.json", "experiment perf trail to gate (\"\" = skip)")
 		experiment = flag.String("experiment", "fig5", "trail experiment to re-measure")
 		hotPath    = flag.String("hotpath", "BENCH_hotpath.json", "hot-path microbenchmark baseline to gate (\"\" = skip)")
+		workPath   = flag.String("workload", "BENCH_workload.json", "workload microbenchmark baseline to gate (\"\" = skip)")
 		update     = flag.Bool("update", false, "re-measure and rewrite the baselines instead of gating")
 		tolWall    = flag.Float64("tol-wall", 0, "max events/wall-sec drop (0 = default)")
 		tolNs      = flag.Float64("tol-ns", 0, "max hot-path ns/op growth (0 = default)")
@@ -72,6 +79,11 @@ func main() {
 	}
 	if *hotPath != "" {
 		if !gateHotpath(*hotPath, tol, *update) {
+			pass = false
+		}
+	}
+	if *workPath != "" {
+		if !gateWorkload(*workPath, tol, *update) {
 			pass = false
 		}
 	}
@@ -168,6 +180,83 @@ func gateHotpath(path string, tol bidl.GateTolerances, update bool) bool {
 	}
 
 	g := bidl.CompareHotpath(baseline, current, tol)
+	g.Render(os.Stdout)
+	return g.OK()
+}
+
+// gateWorkload re-runs the workload microbenchmarks plus the
+// memory-per-account curve and gates (or rewrites) the BENCH_workload.json
+// baseline.
+func gateWorkload(path string, tol bidl.GateTolerances, update bool) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	// Like the hotpath baseline, the file carries narrative fields beyond
+	// the gated slice: decode generically and only reach into gated entries.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	micro, _ := doc["microbenchmarks"].(map[string]any)
+	prep, _ := micro["BenchmarkPrepopulate"].(map[string]any)
+	next, _ := micro["BenchmarkGeneratorNext"].(map[string]any)
+	if prep == nil || next == nil {
+		fail(fmt.Errorf("%s: missing microbenchmarks.BenchmarkPrepopulate / BenchmarkGeneratorNext", path))
+	}
+	baseline := bidl.WorkloadStats{
+		PrepopNsPerOp:     num(prep["ns_per_op"]),
+		PrepopBytesPerOp:  num(prep["bytes_per_op"]),
+		PrepopAllocsPerOp: num(prep["allocs_per_op"]),
+		PrepopFlatness:    num(doc["prepop_flatness"]),
+		NextNsPerOp:       num(next["ns_per_op"]),
+		NextBytesPerOp:    num(next["bytes_per_op"]),
+		NextAllocsPerOp:   num(next["allocs_per_op"]),
+	}
+
+	fmt.Fprintln(os.Stderr, "bidl-perfgate: running BenchmarkPrepopulate...")
+	rp := testing.Benchmark(bench.PrepopulateBench)
+	fmt.Fprintln(os.Stderr, "bidl-perfgate: running BenchmarkGeneratorNext...")
+	rn := testing.Benchmark(bench.GeneratorNextBench)
+	fmt.Fprintln(os.Stderr, "bidl-perfgate: measuring memory-per-account curve (10^4..10^7 accounts)...")
+	curve := bench.PrepopulateCurve()
+	current := bidl.WorkloadStats{
+		PrepopNsPerOp:     float64(rp.NsPerOp()),
+		PrepopBytesPerOp:  float64(rp.AllocedBytesPerOp()),
+		PrepopAllocsPerOp: float64(rp.AllocsPerOp()),
+		PrepopFlatness:    bench.Flatness(curve),
+		NextNsPerOp:       float64(rn.NsPerOp()),
+		NextBytesPerOp:    float64(rn.AllocedBytesPerOp()),
+		NextAllocsPerOp:   float64(rn.AllocsPerOp()),
+	}
+
+	if update {
+		prep["ns_per_op"] = current.PrepopNsPerOp
+		prep["bytes_per_op"] = current.PrepopBytesPerOp
+		prep["allocs_per_op"] = current.PrepopAllocsPerOp
+		next["ns_per_op"] = current.NextNsPerOp
+		next["bytes_per_op"] = current.NextBytesPerOp
+		next["allocs_per_op"] = current.NextAllocsPerOp
+		doc["prepop_flatness"] = current.PrepopFlatness
+		pts := make([]any, len(curve))
+		for i, p := range curve {
+			pts[i] = map[string]any{
+				"accounts":      p.Accounts,
+				"bytes_per_op":  p.BytesPerOp,
+				"allocs_per_op": p.AllocsPerOp,
+			}
+		}
+		doc["memory_per_account_curve"] = pts
+		writeFile(path, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		})
+		fmt.Printf("updated workload microbenchmarks in %s\n", path)
+		return true
+	}
+
+	g := bidl.CompareWorkload(baseline, current, tol)
 	g.Render(os.Stdout)
 	return g.OK()
 }

@@ -62,6 +62,7 @@ func main() {
 		telemetry  = flag.Bool("telemetry", false, "print per-node/per-link telemetry and slowest-transaction spans")
 		anatomyOut = flag.String("anatomy", "", "write the critical-path latency anatomy report to this file (\"-\" = stdout; single run only)")
 		anatomyCSV = flag.String("anatomy-csv", "", "also write the latency anatomy as CSV to this file (single run only)")
+		heapCheck  = flag.Int64("heap-check", 0, "after all runs, GC and fail if the live heap exceeds this many bytes (0 = off)")
 	)
 	flag.Parse()
 
@@ -354,6 +355,24 @@ func main() {
 			} else {
 				fmt.Printf("wrote trace events to %s\n", *traceJSONL)
 			}
+		}
+	}
+	// The heap check is the memory side of `make workload-smoke`: after every
+	// run completes (results retained, clusters collectable) the live heap
+	// must fit the stated budget. A million-account scenario only passes
+	// because prepopulation shares one copy-on-write base per generator
+	// instead of materializing O(accounts) entries per node.
+	if *heapCheck > 0 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > uint64(*heapCheck) {
+			fmt.Fprintf(os.Stderr, "bidl-sim: heap-check FAILED: live heap %.1f MiB exceeds limit %.1f MiB\n",
+				float64(ms.HeapAlloc)/(1<<20), float64(*heapCheck)/(1<<20))
+			failed = true
+		} else {
+			fmt.Printf("heap-check: live heap %.1f MiB within limit %.1f MiB\n",
+				float64(ms.HeapAlloc)/(1<<20), float64(*heapCheck)/(1<<20))
 		}
 	}
 	if failed {

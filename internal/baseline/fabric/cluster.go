@@ -62,6 +62,7 @@ func NewCluster(cfg Config) *Cluster {
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("fabric-%d", cfg.Seed)))
 	reg := contract.NewRegistry()
 	reg.Deploy(contract.SmallBank{})
+	reg.Deploy(contract.Settlement{})
 
 	c := &Cluster{
 		Cfg:       cfg,
@@ -180,6 +181,20 @@ func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
 			cl.submit(ctx, byClient[id])
 		}
 	})
+}
+
+// At schedules fn at virtual time t (see core.Cluster.At); serial engine
+// only once the run has started.
+func (c *Cluster) At(t time.Duration, fn func()) { c.Sim.At(t, fn) }
+
+// InFlight returns the cluster-wide count of submitted transactions whose
+// clients have not yet seen a commit.
+func (c *Cluster) InFlight() int {
+	n := 0
+	for _, cl := range c.Clients {
+		n += cl.Pending()
+	}
+	return n
 }
 
 // Run advances the simulation to absolute virtual time t.

@@ -169,6 +169,50 @@ func CompareHotpath(baseline, current HotpathStats, tol GateTolerances) *GateRep
 	return g
 }
 
+// WorkloadStats is the gated slice of the workload microbenchmark baseline
+// in BENCH_workload.json: per-node prepopulation cost, per-transaction
+// generation cost, and the flatness of the memory-per-account curve (max/min
+// prepopulation bytes/op across three decades of account counts — the O(1)
+// guarantee as a single number).
+type WorkloadStats struct {
+	PrepopNsPerOp     float64 `json:"prepop_ns_per_op"`
+	PrepopBytesPerOp  float64 `json:"prepop_bytes_per_op"`
+	PrepopAllocsPerOp float64 `json:"prepop_allocs_per_op"`
+	PrepopFlatness    float64 `json:"prepop_flatness"`
+	NextNsPerOp       float64 `json:"next_ns_per_op"`
+	NextBytesPerOp    float64 `json:"next_bytes_per_op"`
+	NextAllocsPerOp   float64 `json:"next_allocs_per_op"`
+}
+
+// CompareWorkload gates fresh workload microbenchmark runs against the
+// committed baseline. Bytes/op, allocs/op, and the flatness ratio are
+// machine-independent and gate tightly; ns/op gates loosely.
+func CompareWorkload(baseline, current WorkloadStats, tol GateTolerances) *GateReport {
+	g := &GateReport{Title: "workload microbenchmarks"}
+	g.Add(GateMetric{Name: "prepop_ns_per_op",
+		Baseline: baseline.PrepopNsPerOp, Current: current.PrepopNsPerOp,
+		Tolerance: tol.NsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "prepop_bytes_per_op",
+		Baseline: baseline.PrepopBytesPerOp, Current: current.PrepopBytesPerOp,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "prepop_allocs_per_op",
+		Baseline: baseline.PrepopAllocsPerOp, Current: current.PrepopAllocsPerOp,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "prepop_flatness",
+		Baseline: baseline.PrepopFlatness, Current: current.PrepopFlatness,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "next_ns_per_op",
+		Baseline: baseline.NextNsPerOp, Current: current.NextNsPerOp,
+		Tolerance: tol.NsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "next_bytes_per_op",
+		Baseline: baseline.NextBytesPerOp, Current: current.NextBytesPerOp,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	g.Add(GateMetric{Name: "next_allocs_per_op",
+		Baseline: baseline.NextAllocsPerOp, Current: current.NextAllocsPerOp,
+		Tolerance: tol.AllocsPerOp, HigherIsWorse: true})
+	return g
+}
+
 // LoadReport parses a committed BENCH_serial.json-style trail file.
 func LoadReport(path string) (*Report, error) {
 	b, err := os.ReadFile(path)

@@ -1,0 +1,135 @@
+package contract
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Settlement implements a multi-step interbank settlement flow — the richer-
+// than-SmallBank contract the million-user workload draws on. One flow is
+// two to three transactions spread over time:
+//
+//	open(flow, src, dst, amount, feeOrg)  — debit src checking by amount+fee,
+//	                                        escrow the amount
+//	settle(flow, dst)                     — credit dst checking, delete escrow
+//	cancel(flow, src)                     — refund src (fee kept), delete escrow
+//
+// Its access pattern is the realistic read/write skew the SmallBank transfer
+// lacks: every step reads hot shared reference data (the per-org fee
+// schedule, prepopulated in the base layer and never written) and hot
+// account balances, while writing a unique cold escrow key that exists only
+// for the life of the flow — creation, mutation, and deletion of delta keys
+// layered over the copy-on-write base.
+type Settlement struct{}
+
+// Name implements Contract.
+func (Settlement) Name() string { return "settlement" }
+
+// FeeKey returns the world-state key of an organization's settlement fee
+// schedule (hot, read-only reference data seeded by prepopulation).
+func FeeKey(org string) string { return "stl:fee:" + org }
+
+// EscrowKey returns the world-state key holding one flow's escrowed amount.
+func EscrowKey(flow string) string { return "stl:esc:" + flow }
+
+// DefaultSettlementFee is the per-flow fee seeded into every organization's
+// fee schedule by prepopulation.
+const DefaultSettlementFee = 25
+
+// escrowVal encodes "amount|dst"; parseEscrow decodes it.
+func escrowVal(amount int64, dst string) []byte {
+	return []byte(strconv.FormatInt(amount, 10) + "|" + dst)
+}
+
+func parseEscrow(raw []byte) (amount int64, dst string, ok bool) {
+	s := string(raw)
+	i := strings.IndexByte(s, '|')
+	if i < 0 {
+		return 0, "", false
+	}
+	v, err := strconv.ParseInt(s[:i], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return v, s[i+1:], true
+}
+
+// Invoke implements Contract.
+func (Settlement) Invoke(ctx *TxContext, fn string, args [][]byte) error {
+	switch fn {
+	case "open":
+		if len(args) != 5 {
+			return fmt.Errorf("%w: open wants (flow, src, dst, amount, feeOrg)", ErrAbort)
+		}
+		flow, src, dst := string(args[0]), string(args[1]), string(args[2])
+		amount, err := strconv.ParseInt(string(args[3]), 10, 64)
+		if err != nil || amount <= 0 {
+			return fmt.Errorf("%w: bad amount", ErrAbort)
+		}
+		if _, exists := ctx.GetState(EscrowKey(flow)); exists {
+			return fmt.Errorf("%w: flow %s already open", ErrAbort, flow)
+		}
+		fee := int64(DefaultSettlementFee)
+		if raw, ok := ctx.GetState(FeeKey(string(args[4]))); ok {
+			if v, err := strconv.ParseInt(string(raw), 10, 64); err == nil {
+				fee = v
+			}
+		}
+		bal, ok := getBal(ctx, CheckingKey(src))
+		if !ok {
+			return fmt.Errorf("%w: no account %s", ErrAbort, src)
+		}
+		if bal < amount+fee {
+			return fmt.Errorf("%w: insufficient funds for settlement", ErrAbort)
+		}
+		putBal(ctx, CheckingKey(src), bal-amount-fee)
+		ctx.PutState(EscrowKey(flow), escrowVal(amount, dst))
+		return nil
+
+	case "settle":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: settle wants (flow, dst)", ErrAbort)
+		}
+		flow, dst := string(args[0]), string(args[1])
+		raw, ok := ctx.GetState(EscrowKey(flow))
+		if !ok {
+			return fmt.Errorf("%w: no open flow %s", ErrAbort, flow)
+		}
+		amount, escDst, ok := parseEscrow(raw)
+		if !ok || escDst != dst {
+			return fmt.Errorf("%w: flow %s is not payable to %s", ErrAbort, flow, dst)
+		}
+		bal, ok := getBal(ctx, CheckingKey(dst))
+		if !ok {
+			return fmt.Errorf("%w: no account %s", ErrAbort, dst)
+		}
+		putBal(ctx, CheckingKey(dst), bal+amount)
+		ctx.DelState(EscrowKey(flow))
+		return nil
+
+	case "cancel":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: cancel wants (flow, src)", ErrAbort)
+		}
+		flow, src := string(args[0]), string(args[1])
+		raw, ok := ctx.GetState(EscrowKey(flow))
+		if !ok {
+			return fmt.Errorf("%w: no open flow %s", ErrAbort, flow)
+		}
+		amount, _, ok := parseEscrow(raw)
+		if !ok {
+			return fmt.Errorf("%w: corrupt escrow for %s", ErrAbort, flow)
+		}
+		bal, ok := getBal(ctx, CheckingKey(src))
+		if !ok {
+			return fmt.Errorf("%w: no account %s", ErrAbort, src)
+		}
+		putBal(ctx, CheckingKey(src), bal+amount)
+		ctx.DelState(EscrowKey(flow))
+		return nil
+
+	default:
+		return fmt.Errorf("%w: unknown function %q", ErrAbort, fn)
+	}
+}

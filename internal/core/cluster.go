@@ -89,6 +89,7 @@ func NewCluster(cfg Config) *Cluster {
 	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
 	reg := contract.NewRegistry()
 	reg.Deploy(contract.SmallBank{})
+	reg.Deploy(contract.Settlement{})
 
 	seed := crypto.Hash([]byte(fmt.Sprintf("leader-rotation-%d", cfg.Seed)))
 	c := &Cluster{
@@ -232,6 +233,22 @@ func (c *Cluster) SubmitAt(at time.Duration, txns ...*types.Transaction) {
 			cl.submit(ctx, byClient[id])
 		}
 	})
+}
+
+// At schedules fn at virtual time t — the hook closed-loop load
+// controllers use to observe mid-run cluster state and reschedule
+// themselves. Only legal on the serial engine once the run has started
+// (Sim.At rejects scheduling during parallel windows).
+func (c *Cluster) At(t time.Duration, fn func()) { c.Sim.At(t, fn) }
+
+// InFlight returns the cluster-wide count of submitted transactions whose
+// clients have not yet seen a commit notification.
+func (c *Cluster) InFlight() int {
+	n := 0
+	for _, cl := range c.Clients {
+		n += cl.Pending()
+	}
+	return n
 }
 
 // Run advances the simulation to absolute virtual time t.

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/bidl-framework/bidl/internal/crypto"
@@ -24,6 +25,14 @@ type Harness interface {
 	// SubmitAt schedules transactions for submission by their own clients
 	// at virtual time at.
 	SubmitAt(at time.Duration, txns ...*types.Transaction)
+	// At schedules fn at virtual time t. Closed-loop load controllers use
+	// it to observe mid-run cluster state and reschedule themselves; on the
+	// simulated clusters it is only legal under the serial engine once the
+	// run has started.
+	At(t time.Duration, fn func())
+	// InFlight reports the cluster-wide count of submitted transactions
+	// whose clients have not yet observed a commit.
+	InFlight() int
 	// Run advances the simulation to absolute virtual time t.
 	Run(t time.Duration)
 	// LeaderIndex reports the current consensus leader (for attacks).
@@ -122,6 +131,75 @@ func (d *Driver) ScheduleRate(gen *workload.Generator, rate float64, window time
 		d.h.SubmitAt(at, gen.Batch(n)...)
 	})
 	return n, nil
+}
+
+// ScheduleLoad arms the spec's full offered-load profile — shaped open-loop
+// ticks, or the closed-loop controller when load.ClosedLoop is set — and
+// returns a function reporting the total transactions submitted. For
+// open-loop load the count is final immediately; for closed-loop it is only
+// final after Run, because backpressure decides at run time how much of the
+// demand curve is actually injected.
+func (d *Driver) ScheduleLoad(gen *workload.Generator, load LoadSpec) (func() int, error) {
+	if d.phase < phasePrepopulated {
+		return nil, fmt.Errorf("scenario: ScheduleLoad before RegisterClients+Prepopulate (driver is %s)", d.phase)
+	}
+	load = load.withShapeDefaults()
+	window := load.Window.D()
+	cum := load.cumulative()
+	if load.ClosedLoop == nil {
+		n := ScheduleCumulative(cum, window, func(at time.Duration, n int) {
+			d.h.SubmitAt(at, gen.Batch(n)...)
+		})
+		return func() int { return n }, nil
+	}
+	return d.scheduleClosedLoop(gen, load, cum)
+}
+
+// scheduleClosedLoop installs a self-rescheduling controller (the BDLS-style
+// auto back-off under heavy payload): at each poll it owes cum(now) −
+// submitted transactions by the demand curve, but injects at most the room
+// left under MaxInFlight. A full window doubles the poll interval up to
+// MaxBackoff; available room resets it. The controller reads InFlight
+// mid-run, so closed-loop scenarios pin the serial simulation engine
+// (Scenario.effectiveSimWorkers).
+func (d *Driver) scheduleClosedLoop(gen *workload.Generator, load LoadSpec, cum func(time.Duration) float64) (func() int, error) {
+	cl := *load.ClosedLoop
+	window := load.Window.D()
+	base := cl.Backoff.D()
+	maxB := cl.MaxBackoff.D()
+	if maxB < base {
+		maxB = base
+	}
+	submitted := 0
+	var step func(now, backoff time.Duration)
+	step = func(now, backoff time.Duration) {
+		if now >= window {
+			return
+		}
+		owed := int(math.Round(cum(now))) - submitted
+		room := cl.MaxInFlight - d.h.InFlight()
+		n := owed
+		if n > room {
+			n = room
+		}
+		switch {
+		case n > 0:
+			d.h.SubmitAt(now, gen.Batch(n)...)
+			submitted += n
+			backoff = base
+		case room <= 0:
+			backoff *= 2
+			if backoff > maxB {
+				backoff = maxB
+			}
+		default: // caught up with the demand curve
+			backoff = base
+		}
+		next := now + backoff
+		d.h.At(next, func() { step(next, backoff) })
+	}
+	d.h.At(0, func() { step(0, base) })
+	return func() int { return submitted }, nil
 }
 
 // Run advances the simulation; the lifecycle must be complete.

@@ -134,7 +134,7 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	// registers its own endpoint; doing so earlier would shift endpoint
 	// IDs and change the run) but before any load is scheduled.
 	s.applyFaults(bc, fc, gen)
-	n, err := d.ScheduleRate(gen, s.Load.Rate, window)
+	submitted, err := d.ScheduleLoad(gen, s.Load)
 	if err != nil {
 		return Result{}, err
 	}
@@ -147,7 +147,7 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 
 	col := h.Metrics()
 	res := Result{
-		Submitted:   n,
+		Submitted:   submitted(),
 		Throughput:  col.EffectiveThroughput(warmup, window),
 		AvgLatency:  col.AvgLatency(warmup, window),
 		P50:         col.PercentileLatency(0.5, warmup, window),
@@ -192,16 +192,63 @@ func (s Scenario) AnatomyWindows() []anatomy.Window {
 // accumulator, so rounding error never compounds: for any rate, the total
 // scheduled over window is exactly round(rate * window_seconds).
 func ScheduleTicks(rate float64, window time.Duration, fn func(time.Duration, int)) int {
+	return ScheduleCumulative(func(t time.Duration) float64 {
+		return rate * t.Seconds()
+	}, window, fn)
+}
+
+// ScheduleCumulative generalizes ScheduleTicks to an arbitrary
+// cumulative-arrivals function: cum(t) is the expected number of
+// transactions offered in [0, t), and each millisecond tick schedules the
+// integer shortfall against round(cum). Load shapes compile to closed-form
+// cum functions, so shaping adds no per-tick state and a constant shape is
+// byte-identical to the legacy fixed-rate schedule.
+func ScheduleCumulative(cum func(time.Duration) float64, window time.Duration, fn func(time.Duration, int)) int {
 	tick := time.Millisecond
 	total := 0
 	for at := time.Duration(0); at < window; at += tick {
-		target := int(math.Round(rate * (at + tick).Seconds()))
+		target := int(math.Round(cum(at + tick)))
 		if n := target - total; n > 0 {
 			fn(at, n)
 			total = target
 		}
 	}
 	return total
+}
+
+// cumulative compiles the (defaults-resolved) load shape to its closed-form
+// cumulative-arrivals function. All shapes preserve mean rate: over any
+// whole period (and for constant, any interval) cum(t) advances by
+// Rate·Δt.
+func (l LoadSpec) cumulative() func(time.Duration) float64 {
+	r := l.Rate
+	switch l.Shape {
+	case ShapeDiurnal:
+		// rate(t) = R·(1 − A·cos(2πt/P)); starts at the trough so a run
+		// shorter than one period still warms up on light load.
+		// ∫₀ᵗ rate = R·t − R·A·P/(2π)·sin(2πt/P).
+		a := l.ShapeAmplitude
+		p := l.ShapePeriod.D().Seconds()
+		return func(t time.Duration) float64 {
+			ts := t.Seconds()
+			return r*ts - r*a*p/(2*math.Pi)*math.Sin(2*math.Pi*ts/p)
+		}
+	case ShapeBurst:
+		// The first BurstDuty fraction of each period runs at M×R, the rest
+		// at (1−M·d)/(1−d)×R, so each whole period offers exactly R·P.
+		m, dty := l.BurstMultiplier, l.BurstDuty
+		off := (1 - m*dty) / (1 - dty)
+		p := l.ShapePeriod.D().Seconds()
+		return func(t time.Duration) float64 {
+			ts := t.Seconds()
+			k := math.Floor(ts / p)
+			frac := ts - k*p
+			burstT := math.Min(frac, dty*p)
+			return k*r*p + r*(m*burstT+off*(frac-burstT))
+		}
+	default: // ShapeConstant
+		return func(t time.Duration) float64 { return r * t.Seconds() }
+	}
 }
 
 // --- spec → framework config compilation --------------------------------
@@ -307,9 +354,11 @@ func (s Scenario) bidlConfig() core.Config {
 // config. Faulted scenarios (including the legacy attack spec) are pinned
 // to the serial engine: the injector mutates cluster state mid-run from
 // outside the partition discipline, and its drop rules must see globally
-// ordered sends.
+// ordered sends. Closed-loop scenarios pin serial for the same reason —
+// the load controller reads cluster-wide in-flight state and schedules
+// global events mid-run.
 func (s Scenario) effectiveSimWorkers() int {
-	if s.Attack.Kind != "" || len(s.Faults) > 0 {
+	if s.Attack.Kind != "" || len(s.Faults) > 0 || s.Load.ClosedLoop != nil {
 		return 0
 	}
 	return s.SimWorkers
@@ -391,6 +440,8 @@ func (s Scenario) workloadConfig(orgs int) workload.Config {
 	}
 	w.ContentionRatio = ws.Contention
 	w.NondetRatio = ws.Nondet
+	w.ZipfS = ws.ZipfS
+	w.SettlementRatio = ws.Settlement
 	if ws.InitialBalance != 0 {
 		w.InitialBalance = ws.InitialBalance
 	}
@@ -537,6 +588,38 @@ func (s Scenario) Validate() error {
 	if s.Load.Warmup < 0 || s.Load.Drain < 0 {
 		return fmt.Errorf("scenario: load.warmup and load.drain must be >= 0")
 	}
+	l := s.Load.withShapeDefaults()
+	switch l.Shape {
+	case ShapeConstant, ShapeDiurnal, ShapeBurst:
+	default:
+		return fmt.Errorf("scenario: unknown load_shape %q", s.Load.Shape)
+	}
+	if l.ShapeAmplitude < 0 || l.ShapeAmplitude > 1 {
+		return fmt.Errorf("scenario: load.shape_amplitude must be in [0,1] (got %g)", l.ShapeAmplitude)
+	}
+	if l.ShapePeriod <= 0 {
+		return fmt.Errorf("scenario: load.shape_period must be > 0 (got %s)", l.ShapePeriod)
+	}
+	if l.Shape == ShapeBurst {
+		if l.BurstDuty <= 0 || l.BurstDuty >= 1 {
+			return fmt.Errorf("scenario: load.burst_duty must be in (0,1) (got %g)", l.BurstDuty)
+		}
+		if l.BurstMultiplier < 1 {
+			return fmt.Errorf("scenario: load.burst_multiplier must be >= 1 (got %g)", l.BurstMultiplier)
+		}
+		if l.BurstMultiplier*l.BurstDuty >= 1 {
+			return fmt.Errorf("scenario: burst_multiplier*burst_duty must be < 1 to keep the mean rate (got %g)",
+				l.BurstMultiplier*l.BurstDuty)
+		}
+	}
+	if cl := l.ClosedLoop; cl != nil {
+		if cl.MaxInFlight < 1 {
+			return fmt.Errorf("scenario: closed_loop.max_in_flight must be >= 1 (got %d)", cl.MaxInFlight)
+		}
+		if cl.Backoff <= 0 || cl.MaxBackoff < cl.Backoff {
+			return fmt.Errorf("scenario: closed_loop backoff must be > 0 and max_backoff >= backoff")
+		}
+	}
 
 	ws := s.Workload
 	switch {
@@ -548,6 +631,12 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("scenario: workload.contention must be in [0,1] (got %g)", ws.Contention)
 	case ws.Nondet < 0 || ws.Nondet > 1:
 		return fmt.Errorf("scenario: workload.nondet must be in [0,1] (got %g)", ws.Nondet)
+	case ws.ZipfS != 0 && ws.ZipfS <= 1:
+		return fmt.Errorf("scenario: workload.zipf_s must be 0 (uniform) or > 1 (got %g)", ws.ZipfS)
+	case ws.Settlement < 0 || ws.Settlement > 1:
+		return fmt.Errorf("scenario: workload.settlement must be in [0,1] (got %g)", ws.Settlement)
+	case ws.Settlement+ws.Nondet > 1:
+		return fmt.Errorf("scenario: workload.settlement + workload.nondet must be <= 1 (got %g)", ws.Settlement+ws.Nondet)
 	}
 
 	switch s.Attack.Kind {

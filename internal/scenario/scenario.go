@@ -206,6 +206,14 @@ type WorkloadSpec struct {
 	Contention float64 `json:"contention,omitempty"`
 	// Nondet is the probability a transaction is non-deterministic.
 	Nondet float64 `json:"nondet,omitempty"`
+	// ZipfS, when > 1, draws non-hot-set accounts from a Zipf distribution
+	// with skew exponent s (low account indices are popular). Zero keeps
+	// the uniform draw; values in (0, 1] are invalid.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Settlement is the probability a transaction is a step of a
+	// multi-step settlement flow (open → settle/cancel) instead of a
+	// SmallBank transfer.
+	Settlement float64 `json:"settlement,omitempty"`
 	// InitialBalance seeds every account (default 1,000,000).
 	InitialBalance int64 `json:"initial_balance,omitempty"`
 	// Padding sizes transactions in bytes (default ~1KB).
@@ -214,9 +222,22 @@ type WorkloadSpec struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// Load shapes accepted by LoadSpec.Shape.
+const (
+	// ShapeConstant offers Rate txns/s uniformly (the default).
+	ShapeConstant = "constant"
+	// ShapeDiurnal modulates the rate sinusoidally around Rate:
+	// rate(t) = Rate · (1 − Amplitude·cos(2πt/Period)), starting at the
+	// trough. The mean over any whole period is exactly Rate.
+	ShapeDiurnal = "diurnal"
+	// ShapeBurst alternates BurstDuty·Period at BurstMultiplier×Rate with
+	// an off-phase rate chosen so the mean over a period is exactly Rate.
+	ShapeBurst = "burst"
+)
+
 // LoadSpec is the offered-load profile.
 type LoadSpec struct {
-	// Rate is the offered load in txns/s.
+	// Rate is the offered load in txns/s (the mean rate for shaped load).
 	Rate float64 `json:"rate"`
 	// Window is how long load is offered; the run then drains.
 	Window Duration `json:"window"`
@@ -226,6 +247,79 @@ type LoadSpec struct {
 	// Drain extends the simulation past the load window so in-flight
 	// transactions commit (default 500ms).
 	Drain Duration `json:"drain,omitempty"`
+
+	// Shape selects the load shape: "" or "constant", "diurnal", "burst".
+	// Shapes are compiled to an analytic cumulative-arrivals function, so a
+	// constant shape is byte-identical to the legacy fixed-rate schedule.
+	Shape string `json:"load_shape,omitempty"`
+	// ShapeAmplitude is the diurnal modulation depth in [0, 1]
+	// (default 0.5).
+	ShapeAmplitude float64 `json:"shape_amplitude,omitempty"`
+	// ShapePeriod is the diurnal/burst period (default Window, i.e. one
+	// full cycle per run).
+	ShapePeriod Duration `json:"shape_period,omitempty"`
+	// BurstMultiplier is the on-phase rate multiple (default 4). With duty
+	// d and multiplier m, the off-phase runs at (1−m·d)/(1−d)×Rate, which
+	// requires m·d < 1.
+	BurstMultiplier float64 `json:"burst_multiplier,omitempty"`
+	// BurstDuty is the fraction of each period spent bursting, in (0, 1)
+	// (default 0.2).
+	BurstDuty float64 `json:"burst_duty,omitempty"`
+
+	// ClosedLoop switches from open-loop scheduling to closed-loop clients:
+	// a controller tracks the cluster-wide outstanding-transaction count
+	// and withholds load (with exponential back-off) while the window is
+	// full. The offered rate still follows Rate and Shape — they become the
+	// demand curve rather than the injection schedule. Closed-loop runs pin
+	// the serial simulation engine (the controller reacts to mid-run
+	// cluster state, which the partition discipline cannot order).
+	ClosedLoop *ClosedLoopSpec `json:"closed_loop,omitempty"`
+}
+
+// ClosedLoopSpec parameterizes closed-loop client backpressure.
+type ClosedLoopSpec struct {
+	// MaxInFlight caps submitted-but-uncommitted transactions cluster-wide
+	// (default 512).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Backoff is the initial pause after finding the window full
+	// (default 1ms); each consecutive full poll doubles it.
+	Backoff Duration `json:"backoff,omitempty"`
+	// MaxBackoff caps the exponential back-off (default 16ms).
+	MaxBackoff Duration `json:"max_backoff,omitempty"`
+}
+
+// withShapeDefaults resolves the zero-value shape knobs to their
+// documented defaults so Validate and the compiler agree on one reading.
+func (l LoadSpec) withShapeDefaults() LoadSpec {
+	if l.Shape == "" {
+		l.Shape = ShapeConstant
+	}
+	if l.ShapeAmplitude == 0 {
+		l.ShapeAmplitude = 0.5
+	}
+	if l.ShapePeriod == 0 {
+		l.ShapePeriod = l.Window
+	}
+	if l.BurstMultiplier == 0 {
+		l.BurstMultiplier = 4
+	}
+	if l.BurstDuty == 0 {
+		l.BurstDuty = 0.2
+	}
+	if l.ClosedLoop != nil {
+		cl := *l.ClosedLoop
+		if cl.MaxInFlight == 0 {
+			cl.MaxInFlight = 512
+		}
+		if cl.Backoff == 0 {
+			cl.Backoff = Duration(time.Millisecond)
+		}
+		if cl.MaxBackoff == 0 {
+			cl.MaxBackoff = Duration(16 * time.Millisecond)
+		}
+		l.ClosedLoop = &cl
+	}
+	return l
 }
 
 // Attack kinds accepted by AttackSpec.Kind.

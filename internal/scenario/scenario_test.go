@@ -162,15 +162,49 @@ func TestValidate(t *testing.T) {
 }
 
 // fakeHarness satisfies Harness without running a simulation, so the
-// driver's lifecycle enforcement can be tested in isolation.
-type fakeHarness struct{ calls []string }
+// driver's lifecycle enforcement can be tested in isolation. At-scheduled
+// events queue up and fire in order from Run, with inFlight scripted per
+// step, so the closed-loop controller is testable without a cluster.
+type fakeHarness struct {
+	calls     []string
+	submitted []int // batch sizes passed to SubmitAt
+	inFlight  []int // scripted InFlight() results, consumed per call
+	timers    []fakeTimer
+	fired     int
+}
+
+type fakeTimer struct {
+	at time.Duration
+	fn func()
+}
 
 func (f *fakeHarness) RegisterClients([]crypto.Identity) { f.calls = append(f.calls, "register") }
 func (f *fakeHarness) Prepopulate(func(*ledger.State))   { f.calls = append(f.calls, "prepop") }
-func (f *fakeHarness) SubmitAt(time.Duration, ...*types.Transaction) {
+func (f *fakeHarness) SubmitAt(_ time.Duration, txns ...*types.Transaction) {
 	f.calls = append(f.calls, "submit")
+	f.submitted = append(f.submitted, len(txns))
 }
-func (f *fakeHarness) Run(time.Duration)             { f.calls = append(f.calls, "run") }
+func (f *fakeHarness) At(t time.Duration, fn func()) {
+	f.timers = append(f.timers, fakeTimer{at: t, fn: fn})
+}
+func (f *fakeHarness) InFlight() int {
+	if len(f.inFlight) == 0 {
+		return 0
+	}
+	n := f.inFlight[0]
+	if len(f.inFlight) > 1 { // hold the last scripted value
+		f.inFlight = f.inFlight[1:]
+	}
+	return n
+}
+func (f *fakeHarness) Run(time.Duration) {
+	f.calls = append(f.calls, "run")
+	for f.fired < len(f.timers) {
+		t := f.timers[f.fired]
+		f.fired++
+		t.fn()
+	}
+}
 func (f *fakeHarness) LeaderIndex() int              { return 0 }
 func (f *fakeHarness) CheckSafety() error            { return nil }
 func (f *fakeHarness) Metrics() *metrics.Collector   { return nil }
