@@ -7,7 +7,8 @@ GO ?= go
 
 .PHONY: all build test race vet fmt-check ci bench-json trace-smoke \
 	profile bench-hotpath hotpath-smoke scenario-smoke pdes-smoke bench-pdes \
-	chaos-smoke anatomy-smoke bench-check workload-smoke bench-workload
+	chaos-smoke anatomy-smoke bench-check workload-smoke bench-workload \
+	shard-smoke
 
 all: build
 
@@ -29,7 +30,7 @@ fmt-check:
 	fi
 
 ci: fmt-check vet build race trace-smoke hotpath-smoke scenario-smoke pdes-smoke chaos-smoke \
-	anatomy-smoke workload-smoke bench-check
+	anatomy-smoke workload-smoke shard-smoke bench-check
 
 # One-transaction smoke run of the end-to-end pipeline benchmark so the
 # hot-path suite can never bitrot (it also asserts the txn commits).
@@ -132,12 +133,31 @@ bench-workload:
 	$(GO) test ./internal/bench/ -run XXX \
 		-bench 'BenchmarkPrepopulate|BenchmarkGeneratorNext' -benchtime 2s
 
+# Sharding gate (DESIGN.md §14): `shards: 1` must compile through the
+# single-channel target and reproduce the unsharded engine field-for-field
+# (TestShardsOneMatchesUnsharded), and a 4-shard spec — cross-shard 2PC
+# traffic included — must be serial-vs-PDES identical under the race
+# detector (TestShardedSpecSerialVsPDES). The same identity is then checked
+# end to end through the bidl-sim CLI: full report output must be
+# byte-identical with and without -sim-workers 4.
+shard-smoke:
+	$(GO) test -race -count=1 ./internal/scenario \
+		-run 'TestShardsOneMatchesUnsharded|TestShardedSpecSerialVsPDES'
+	$(GO) run -race ./cmd/bidl-sim -orgs 8 -rate 4000 -duration 400ms \
+		-shards 4 -cross-shard 0.1 -sim-workers 4 > /tmp/bidl-shard-par.txt
+	$(GO) run ./cmd/bidl-sim -orgs 8 -rate 4000 -duration 400ms \
+		-shards 4 -cross-shard 0.1 > /tmp/bidl-shard-ser.txt
+	@cmp /tmp/bidl-shard-par.txt /tmp/bidl-shard-ser.txt \
+		&& echo "shard-smoke: 4-shard PDES output byte-identical to serial"
+
 # Perf-regression gate: re-measure the fig5 trail entry, the pipeline
-# hot-path benchmark, and the workload microbenchmarks (including the
-# memory-per-account flatness curve), compare against the committed
-# BENCH_serial.json / BENCH_hotpath.json / BENCH_workload.json baselines
-# with explicit tolerances (virtual-event counts exactly; machine-independent
-# bytes/allocs/flatness tightly; wall-clock loosely — see cmd/bidl-perfgate).
+# hot-path benchmark, the workload microbenchmarks (including the
+# memory-per-account flatness curve), and the multi-channel sharding sweep,
+# compare against the committed BENCH_serial.json / BENCH_hotpath.json /
+# BENCH_workload.json / BENCH_sharding.json baselines with explicit
+# tolerances (virtual-event counts exactly; machine-independent
+# bytes/allocs/flatness tightly; wall-clock — aggregate and per sequenced
+# channel — loosely; see cmd/bidl-perfgate).
 # After a deliberate perf/behavior change: go run ./cmd/bidl-perfgate -update
 bench-check:
 	$(GO) run ./cmd/bidl-perfgate

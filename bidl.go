@@ -91,6 +91,13 @@ type (
 	ScenarioResult = scenario.Result
 	// ScenarioRunConfig carries runtime-only knobs (tracer, observer).
 	ScenarioRunConfig = scenario.RunConfig
+	// ScenarioDuration is the scenario spec's human-readable duration type
+	// ("150ms"-style JSON), for building Scenario values in Go.
+	ScenarioDuration = scenario.Duration
+	// ShardedHarness runs N independently sequenced BIDL channels over one
+	// shared simulation with 2PC for cross-shard transactions (DESIGN.md
+	// §14); scenarios with `shards` > 1 compile to it.
+	ShardedHarness = scenario.ShardedHarness
 	// Harness is the framework-agnostic cluster surface the scenario
 	// driver runs against; Cluster and BaselineCluster both implement it.
 	Harness = scenario.Harness
@@ -262,6 +269,18 @@ func DefaultGateTolerances() GateTolerances { return bench.DefaultGateTolerances
 func CompareBenchStats(baseline, current BenchStats, tol GateTolerances) *GateReport {
 	return bench.CompareRunStats(baseline, current, tol)
 }
+
+// CompareShardingStats gates a fresh sharding-experiment measurement against
+// its BENCH_sharding.json entry: virtual events exactly, event throughput
+// loosely both in aggregate and per sequenced channel.
+func CompareShardingStats(baseline, current BenchStats, channels int, tol GateTolerances) *GateReport {
+	return bench.CompareShardingStats(baseline, current, channels, tol)
+}
+
+// ShardingChannels returns the total number of independently sequenced
+// channels across the sharding experiment's sweep — the per-channel
+// normalization divisor used by CompareShardingStats.
+func ShardingChannels() int { return bench.ShardingChannels() }
 
 // CompareHotpath gates a fresh hot-path benchmark run against the committed
 // microbenchmark baseline.

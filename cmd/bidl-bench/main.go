@@ -8,6 +8,7 @@
 //	bidl-bench -run all -parallel       # sweep points across all cores
 //	bidl-bench -run all -j 4 -bench-json BENCH_parallel.json
 //	bidl-bench -run table4 -csv out.csv
+//	bidl-bench -run fig5 -shards 4      # every BIDL point as a 4-channel deployment
 //	bidl-bench -run fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	bidl-bench -dump-scenarios -run fig5    # the sweep as declarative JSON
 //
@@ -53,6 +54,7 @@ func main() {
 		jobs      = flag.Int("j", 1, "concurrent sweep points (1 = serial)")
 		parallel  = flag.Bool("parallel", false, "shorthand for -j GOMAXPROCS")
 		simWork   = flag.Int("sim-workers", 0, "PDES workers inside each simulation (0/1 = serial engine)")
+		shards    = flag.Int("shards", 0, "run every BIDL sweep point sharded over this many channels (0/1 = single channel; changes what is simulated)")
 		jsonOut   = flag.String("bench-json", "", "write per-experiment wall-clock/event stats as JSON to this file")
 		telemetry = flag.Bool("telemetry", false, "trace every run and print per-run telemetry summaries to stderr")
 		anatomy   = flag.Bool("anatomy", false, "trace every run and print per-run latency-anatomy breakdowns to stderr")
@@ -112,7 +114,7 @@ func main() {
 	if *parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers, SimWorkers: *simWork}
+	opts := bidl.BenchOptions{Scale: *scale, Seed: *seed, Workers: workers, SimWorkers: *simWork, Shards: *shards}
 	if !*quiet {
 		opts.Log = os.Stderr
 	}

@@ -20,6 +20,12 @@
 //     memory-per-account curve across 10⁴..10⁷ accounts whose flatness
 //     ratio (max/min bytes/op) pins prepopulation at O(1) in the account
 //     count. bytes/op, allocs/op, and flatness gate tightly; ns/op loosely.
+//   - BENCH_sharding.json (-sharding): the multi-channel sharding sweep
+//     (shard count × cross-shard 2PC ratio) is re-run at the trail's
+//     recorded scale/seed/workers. Virtual events gate exactly; event
+//     throughput gates loosely, both in aggregate and normalized per
+//     sequenced channel — the per-shard figure horizontal scale-out work
+//     should move.
 //
 // After a deliberate perf or behavior change, refresh the baselines with
 // -update (re-measures and rewrites the files in place).
@@ -49,6 +55,7 @@ func main() {
 		experiment = flag.String("experiment", "fig5", "trail experiment to re-measure")
 		hotPath    = flag.String("hotpath", "BENCH_hotpath.json", "hot-path microbenchmark baseline to gate (\"\" = skip)")
 		workPath   = flag.String("workload", "BENCH_workload.json", "workload microbenchmark baseline to gate (\"\" = skip)")
+		shardPath  = flag.String("sharding", "BENCH_sharding.json", "sharding experiment trail to gate (\"\" = skip)")
 		update     = flag.Bool("update", false, "re-measure and rewrite the baselines instead of gating")
 		tolWall    = flag.Float64("tol-wall", 0, "max events/wall-sec drop (0 = default)")
 		tolNs      = flag.Float64("tol-ns", 0, "max hot-path ns/op growth (0 = default)")
@@ -84,6 +91,11 @@ func main() {
 	}
 	if *workPath != "" {
 		if !gateWorkload(*workPath, tol, *update) {
+			pass = false
+		}
+	}
+	if *shardPath != "" {
+		if !gateSharding(*shardPath, tol, *update) {
 			pass = false
 		}
 	}
@@ -128,6 +140,59 @@ func gateReport(path, id string, tol bidl.GateTolerances, update bool) bool {
 	}
 
 	g := bidl.CompareBenchStats(baseline, current, tol)
+	g.Render(os.Stdout)
+	return g.OK()
+}
+
+// gateSharding re-measures the multi-channel sharding sweep at the trail's
+// recorded parameters and gates (or rewrites) BENCH_sharding.json. Beyond
+// the standard trail metrics it gates event throughput per sequenced
+// channel, so the baseline reads as one shard-pipeline's sustained rate.
+// With -update, a missing trail file is created from scratch at the default
+// recording point (scale 0.1, seed 1, serial).
+func gateSharding(path string, tol bidl.GateTolerances, update bool) bool {
+	const id = "sharding"
+	trail, err := bidl.LoadBenchReport(path)
+	if err != nil {
+		if !(update && os.IsNotExist(err)) {
+			fail(err)
+		}
+		trail = bidl.NewBenchReport(bidl.BenchOptions{Scale: 0.1, Seed: 1, Workers: 1})
+	}
+	fmt.Fprintf(os.Stderr, "bidl-perfgate: re-measuring %s (scale %g, seed %d, workers %d)...\n",
+		id, trail.Scale, trail.Seed, trail.Workers)
+	opts := bidl.BenchOptions{Scale: trail.Scale, Seed: trail.Seed, Workers: trail.Workers}
+	_, current, err := bidl.MeasureExperiment(id, opts)
+	if err != nil {
+		fail(err)
+	}
+
+	if update {
+		found := false
+		for i := range trail.Experiments {
+			if trail.Experiments[i].ID == id {
+				trail.Experiments[i] = current
+				found = true
+			}
+		}
+		if !found {
+			trail.Experiments = append(trail.Experiments, current)
+		}
+		trail.TotalWallSeconds, trail.TotalVirtualEvents = 0, 0
+		for _, s := range trail.Experiments {
+			trail.TotalWallSeconds += s.WallSeconds
+			trail.TotalVirtualEvents += s.VirtualEvents
+		}
+		writeFile(path, func(f *os.File) error { return trail.WriteJSON(f) })
+		fmt.Printf("updated %s entry in %s\n", id, path)
+		return true
+	}
+
+	baseline, ok := trail.FindRunStats(id)
+	if !ok {
+		fail(fmt.Errorf("%s: no experiment %q in trail", path, id))
+	}
+	g := bidl.CompareShardingStats(baseline, current, bidl.ShardingChannels(), tol)
 	g.Render(os.Stdout)
 	return g.OK()
 }

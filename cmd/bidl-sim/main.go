@@ -10,6 +10,7 @@
 //	bidl-sim -dcs 4 -inter-gbps 1               # 4 datacenters, 1 Gbps pipes
 //	bidl-sim -runs 8 -j 4                       # 8 seeds, 4 at a time
 //	bidl-sim -sim-workers 4                     # PDES inside the run; same output
+//	bidl-sim -shards 4 -cross-shard 0.05        # 4 sharded channels, 5% 2PC traffic
 //	bidl-sim -scenario examples/scenario-fig5.json
 //
 // With -runs N, seeds seed..seed+N-1 execute as independent simulations on
@@ -53,6 +54,8 @@ func main() {
 		scenPath   = flag.String("scenario", "", "run a declarative scenario JSON file (topology/workload/attack flags are ignored)")
 		listFaults = flag.Bool("list-faults", false, "list the fault kinds a scenario's faults array accepts and exit")
 		simWork    = flag.Int("sim-workers", 0, "PDES workers inside the simulation (0/1 = serial engine)")
+		shards     = flag.Int("shards", 0, "shard the deployment into this many BIDL channels (0/1 = single channel)")
+		crossShard = flag.Float64("cross-shard", 0, "cross-shard transfer ratio [0,1] (requires -shards > 1)")
 		seed       = flag.Int64("seed", 1, "simulation seed (first seed with -runs)")
 		runs       = flag.Int("runs", 1, "independent runs on consecutive seeds")
 		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "concurrent runs with -runs > 1")
@@ -118,6 +121,39 @@ func main() {
 			name = *scenPath
 		}
 		fmt.Printf("scenario %q: framework=%s\n", name, spec.WithDefaults().Framework)
+	}
+
+	// -shards in flag mode synthesizes a declarative spec from the topology/
+	// workload/load flags and runs it through the scenario driver — the
+	// multi-channel harness is a scenario-layer construct, not a Cluster
+	// mode. In scenario mode the flag overlays a spec that leaves `shards`
+	// unset, mirroring -sim-workers.
+	useSpec := *scenPath != ""
+	if !useSpec && *shards > 1 {
+		if *attackMode != "none" {
+			fmt.Fprintln(os.Stderr, "bidl-sim: -shards is incompatible with -attack (use a scenario faults schedule)")
+			os.Exit(2)
+		}
+		spec.Shards = *shards
+		spec.CrossShardRatio = *crossShard
+		spec.Protocol = *protocol
+		spec.Seed = *seed
+		spec.Nodes.Orgs = *orgs
+		spec.Nodes.PerOrg = *nnPerOrg
+		spec.Nodes.Consensus = *consensus
+		spec.Nodes.Datacenters = *dcs
+		spec.Topology.LossRate = *loss
+		spec.Topology.InterDCGbps = *interGbps
+		spec.Workload.Contention = *contention
+		spec.Workload.Nondet = *nondet
+		spec.Load.Rate = *rate
+		spec.Load.Window = bidl.ScenarioDuration(*duration)
+		if err := spec.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "bidl-sim:", err)
+			os.Exit(2)
+		}
+		useSpec = true
+		fmt.Printf("sharded deployment: %d channels, cross-shard ratio %g\n", *shards, *crossShard)
 	}
 
 	type outcome struct {
@@ -201,12 +237,18 @@ func main() {
 		return out
 	}
 
-	if *scenPath != "" {
+	if useSpec {
 		runOne = func(runSeed int64) outcome {
 			sp := spec
 			sp.Seed = runSeed
 			if *simWork > 1 && sp.SimWorkers == 0 {
 				sp.SimWorkers = *simWork
+			}
+			if *shards > 1 && sp.Shards == 0 {
+				sp.Shards = *shards
+			}
+			if *crossShard > 0 && sp.Shards > 1 && sp.CrossShardRatio == 0 {
+				sp.CrossShardRatio = *crossShard
 			}
 			rc := bidl.ScenarioRunConfig{}
 			if tracing {

@@ -107,6 +107,13 @@ type Options struct {
 	// reference used by the PDES determinism tests.
 	ForceSerialSim bool
 
+	// Shards overlays multi-channel sharding (the scenario `shards` field)
+	// onto every BIDL sweep point that does not set its own. Unlike
+	// Workers/SimWorkers this changes what is simulated — each point becomes
+	// an N-channel deployment — so the golden and perf trails never set it;
+	// it exists for `bidl-bench -shards` exploration.
+	Shards int
+
 	// TraceSink, when non-nil, turns on per-run tracing: every framework
 	// run gets a private Tracer, handed to the sink after the run
 	// finishes. Sweep points may run concurrently (Workers), so the sink

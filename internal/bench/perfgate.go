@@ -145,6 +145,24 @@ func CompareRunStats(baseline RunStats, current RunStats, tol GateTolerances) *G
 	return g
 }
 
+// CompareShardingStats gates a fresh sharding-experiment measurement against
+// its BENCH_sharding.json entry. Virtual events gate exactly, like every
+// trail experiment; event throughput gates loosely both in aggregate and
+// normalized per sequenced channel (channels = ShardingChannels()), so the
+// trailed headline is "events one shard's pipeline sustains per wall-second"
+// rather than a number that silently grows with the sweep's shard counts.
+func CompareShardingStats(baseline, current RunStats, channels int, tol GateTolerances) *GateReport {
+	g := CompareRunStats(baseline, current, tol)
+	g.Title = fmt.Sprintf("experiment %s (%d channels)", baseline.ID, channels)
+	if channels > 0 {
+		g.Add(GateMetric{Name: "events_per_channel_sec",
+			Baseline:  baseline.EventsPerSec / float64(channels),
+			Current:   current.EventsPerSec / float64(channels),
+			Tolerance: tol.Wall, HigherIsWorse: false})
+	}
+	return g
+}
+
 // HotpathStats is the gated slice of one microbenchmark entry in
 // BENCH_hotpath.json.
 type HotpathStats struct {

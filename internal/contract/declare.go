@@ -1,0 +1,100 @@
+package contract
+
+import "github.com/bidl-framework/bidl/internal/types"
+
+// KeyDeclarer is implemented by contracts whose write-key set is computable
+// from the invocation alone (function + args), before execution. The sharded
+// engine (DESIGN.md §14) uses the declaration to classify a transaction as
+// single- vs. cross-shard BEFORE sequencing: a transaction whose declared
+// writes all map to one ledger.KeyShard is routed to that shard's sequencer,
+// anything else goes through the 2PC coordinator.
+//
+// Only WRITE keys are declared. Read-only reference data (e.g. the
+// settlement fee schedule) is replicated on every shard and must not
+// constrain routing.
+type KeyDeclarer interface {
+	// DeclaredWrites returns the keys fn(args) may write. A nil result
+	// means "no writes" (read-only, or malformed arguments that will abort
+	// at execution) — such transactions route by their corresponding org.
+	DeclaredWrites(fn string, args [][]byte) []string
+}
+
+// DeclaredWrites resolves tx's contract and returns its declared write-key
+// set. ok is false when the contract is unknown or does not declare its keys
+// — callers then fall back to corresponding-org routing (the transaction
+// will abort or execute single-shard anyway).
+func (r *Registry) DeclaredWrites(tx *types.Transaction) (keys []string, ok bool) {
+	c := r.contracts[tx.Contract]
+	if c == nil {
+		return nil, false
+	}
+	d, ok := c.(KeyDeclarer)
+	if !ok {
+		return nil, false
+	}
+	return d.DeclaredWrites(tx.Fn, tx.Args), true
+}
+
+// DeclaredWrites implements KeyDeclarer for SmallBank. The sets mirror
+// Invoke's PutState calls exactly; smallbank_declare_test.go pins the
+// correspondence per function.
+func (SmallBank) DeclaredWrites(fn string, args [][]byte) []string {
+	switch fn {
+	case "create_account", "create_random":
+		if len(args) < 1 {
+			return nil
+		}
+		acct := string(args[0])
+		return []string{CheckingKey(acct), SavingsKey(acct)}
+	case "deposit_checking", "write_check":
+		if len(args) < 1 {
+			return nil
+		}
+		return []string{CheckingKey(string(args[0]))}
+	case "transact_savings":
+		if len(args) < 1 {
+			return nil
+		}
+		return []string{SavingsKey(string(args[0]))}
+	case "send_payment":
+		if len(args) < 2 {
+			return nil
+		}
+		src, dst := string(args[0]), string(args[1])
+		if src == dst { // funds-checked no-op
+			return nil
+		}
+		return []string{CheckingKey(src), CheckingKey(dst)}
+	case "amalgamate":
+		if len(args) < 2 {
+			return nil
+		}
+		src, dst := string(args[0]), string(args[1])
+		if src == dst {
+			return []string{SavingsKey(src), CheckingKey(src)}
+		}
+		return []string{SavingsKey(src), CheckingKey(src), CheckingKey(dst)}
+	default: // query and unknown functions write nothing
+		return nil
+	}
+}
+
+// DeclaredWrites implements KeyDeclarer for Settlement. Every step touches
+// its flow's escrow key plus one account's checking balance; the fee
+// schedule is read-only and deliberately absent.
+func (Settlement) DeclaredWrites(fn string, args [][]byte) []string {
+	switch fn {
+	case "open":
+		if len(args) < 2 {
+			return nil
+		}
+		return []string{CheckingKey(string(args[1])), EscrowKey(string(args[0]))}
+	case "settle", "cancel":
+		if len(args) < 2 {
+			return nil
+		}
+		return []string{CheckingKey(string(args[1])), EscrowKey(string(args[0]))}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,114 @@
+package contract
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/bidl-framework/bidl/internal/ledger"
+	"github.com/bidl-framework/bidl/internal/types"
+)
+
+// Every write a contract actually performs must be covered by its
+// declaration — otherwise the sharded router could send a transaction to a
+// shard that does not own all its writes. Exercise each function of each
+// declaring contract against live state and compare write sets.
+func TestDeclaredWritesCoverActualWrites(t *testing.T) {
+	r := NewRegistry()
+	r.Deploy(SmallBank{})
+	r.Deploy(Settlement{})
+	r.Deploy(XShard{})
+
+	s := ledger.NewState()
+	seed := []*types.Transaction{
+		tx("create_account", "a1", "1000"),
+		tx("create_account", "a2", "1000"),
+		tx("create_account", "a5", "1000"),
+	}
+	for i, txn := range seed {
+		rw := r.Execute(s, txn, nil)
+		s.Apply(rw.Writes, ledger.Version{Block: 1, Tx: i})
+	}
+	// An open settlement flow and a prepared transfer, so settle/cancel and
+	// the 2PC decision paths take their full write-heavy branches.
+	setup := []*types.Transaction{
+		{Client: "c", Contract: "settlement", Fn: "open", Args: argv("flow-1", "a1", "a2", "100", "org1"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "settlement", Fn: "open", Args: argv("flow-2", "a1", "a2", "100", "org1"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "prepare_debit", Args: argv("g1", "a1", "50"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "prepare_credit", Args: argv("g1", "a2"), Orgs: []string{"org1"}},
+		// a5, not a1/a2: those accounts are locked by g1's prepares above,
+		// and a conflicting prepare would (correctly) abort.
+		{Client: "c", Contract: "xshard", Fn: "prepare_debit", Args: argv("g2", "a5", "10"), Orgs: []string{"org1"}},
+	}
+	for i, txn := range setup {
+		rw := r.Execute(s, txn, nil)
+		if rw.Aborted {
+			t.Fatalf("setup %s aborted", txn.Fn)
+		}
+		s.Apply(rw.Writes, ledger.Version{Block: 2, Tx: i})
+	}
+
+	cases := []*types.Transaction{
+		tx("create_account", "a3", "5"),
+		tx("create_random", "a4"),
+		tx("deposit_checking", "a1", "7"),
+		tx("transact_savings", "a1", "-3"),
+		tx("send_payment", "a1", "a2", "9"),
+		tx("send_payment", "a1", "a1", "9"), // self-payment no-op
+		tx("write_check", "a1", "2"),
+		tx("write_check", "a2", "1000000"), // overdraft branch
+		tx("amalgamate", "a1", "a2"),
+		tx("amalgamate", "a2", "a2"), // self-amalgamate branch
+		tx("query", "a1"),
+		{Client: "c", Contract: "settlement", Fn: "open", Args: argv("flow-3", "a2", "a1", "10", "org1"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "settlement", Fn: "settle", Args: argv("flow-1", "a2"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "settlement", Fn: "cancel", Args: argv("flow-2", "a1"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "commit_debit", Args: argv("g1", "a1"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "commit_credit", Args: argv("g1", "a2", "50"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "abort_debit", Args: argv("g2", "a5"), Orgs: []string{"org1"}},
+		{Client: "c", Contract: "xshard", Fn: "abort_credit", Args: argv("g2", "a5"), Orgs: []string{"org1"}},
+	}
+	for i, txn := range cases {
+		declared, ok := r.DeclaredWrites(txn)
+		if !ok {
+			t.Fatalf("%s/%s: contract does not declare keys", txn.Contract, txn.Fn)
+		}
+		set := make(map[string]bool, len(declared))
+		for _, k := range declared {
+			set[k] = true
+		}
+		rw := r.Execute(s, txn, rand.New(rand.NewSource(1)))
+		if !rw.Aborted {
+			for _, w := range rw.Writes {
+				if !set[w.Key] {
+					t.Errorf("%s/%s: wrote undeclared key %q (declared %v)", txn.Contract, txn.Fn, w.Key, declared)
+				}
+			}
+			s.Apply(rw.Writes, ledger.Version{Block: 3, Tx: i})
+		}
+	}
+}
+
+// Read-only and malformed invocations declare nil, and unknown contracts
+// report ok=false so the router can fall back.
+func TestDeclaredWritesFallbacks(t *testing.T) {
+	r := NewRegistry()
+	r.Deploy(SmallBank{})
+	if keys, ok := r.DeclaredWrites(tx("query", "a1")); !ok || keys != nil {
+		t.Errorf("query: got (%v, %v), want (nil, true)", keys, ok)
+	}
+	if keys, ok := r.DeclaredWrites(tx("send_payment", "a1")); !ok || keys != nil {
+		t.Errorf("malformed send_payment: got (%v, %v), want (nil, true)", keys, ok)
+	}
+	ghost := &types.Transaction{Client: "c", Contract: "nope", Fn: "x", Orgs: []string{"org1"}}
+	if _, ok := r.DeclaredWrites(ghost); ok {
+		t.Error("unknown contract reported ok=true")
+	}
+}
+
+func argv(args ...string) [][]byte {
+	var bs [][]byte
+	for _, a := range args {
+		bs = append(bs, []byte(a))
+	}
+	return bs
+}

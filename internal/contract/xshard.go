@@ -1,0 +1,171 @@
+package contract
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// XShard is the two-phase-commit sub-transaction contract behind cross-shard
+// payments (DESIGN.md §14). A cross-shard send_payment is decomposed by the
+// coordinator into per-shard sub-transactions that each run through their
+// shard's ordinary sequencer + consensus + speculative-execution path:
+//
+//	phase 1 (prepare, one per touched shard):
+//	  prepare_debit(gid, src, amount) — debit src checking into an escrow
+//	                                    entry and take src's transfer lock
+//	  prepare_credit(gid, dst)        — validate dst exists, take its lock
+//	phase 2 (decision, sent only after both phase-1 outcomes are known):
+//	  commit_debit(gid, src)          — burn the escrow, release the lock
+//	  commit_credit(gid, dst, amount) — credit dst, release the lock
+//	  abort_debit(gid, src)           — refund the escrow, release the lock
+//	  abort_credit(gid, dst)          — release the lock
+//
+// Locking is first-wins 2PL on the account's transfer lock key: a prepare
+// that finds a live lock held by another gid aborts (ErrAbort), the
+// coordinator observes the aborted prepare and drives abort_* everywhere.
+// Funds conservation holds against concurrent single-shard traffic because
+// the debit happens eagerly at prepare time — the money lives in the escrow
+// entry, not in any balance, until commit or abort resolves it.
+//
+// Phase-2 functions are deliberately idempotent and infallible: an abort may
+// arrive on a shard whose prepare itself aborted (nothing was applied), and
+// the atomicity invariant ("commit on all touched shards or abort on all")
+// must not be voidable by a decision sub-transaction refusing to apply.
+type XShard struct{}
+
+// Name implements Contract.
+func (XShard) Name() string { return "xshard" }
+
+// XLockKey returns the transfer-lock key guarding an account's checking
+// balance during 2PC. Wrapping the checking key keeps ledger.KeyShard and
+// the ownership partitioner routing the lock with its account.
+func XLockKey(acct string) string { return "xs:lock:" + CheckingKey(acct) }
+
+// XEscrowKey returns the escrow entry holding a transfer's in-flight funds
+// on the debit shard. The key ends with the account name so ownership
+// partitioning groups it with the account's org.
+func XEscrowKey(gid, acct string) string { return "xs:esc:" + gid + ":" + acct }
+
+// Invoke implements Contract.
+func (XShard) Invoke(ctx *TxContext, fn string, args [][]byte) error {
+	switch fn {
+	case "prepare_debit":
+		if len(args) != 3 {
+			return fmt.Errorf("%w: prepare_debit wants (gid, src, amount)", ErrAbort)
+		}
+		gid, src := string(args[0]), string(args[1])
+		amt, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil || amt < 0 {
+			return fmt.Errorf("%w: bad amount", ErrAbort)
+		}
+		if holder, held := ctx.GetState(XLockKey(src)); held && string(holder) != gid {
+			return fmt.Errorf("%w: %s locked by %s", ErrAbort, src, holder)
+		}
+		bal, ok := getBal(ctx, CheckingKey(src))
+		if !ok {
+			return fmt.Errorf("%w: no account %s", ErrAbort, src)
+		}
+		if bal < amt {
+			return fmt.Errorf("%w: insufficient funds", ErrAbort)
+		}
+		putBal(ctx, CheckingKey(src), bal-amt)
+		ctx.PutState(XEscrowKey(gid, src), []byte(strconv.FormatInt(amt, 10)))
+		ctx.PutState(XLockKey(src), []byte(gid))
+		return nil
+
+	case "prepare_credit":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: prepare_credit wants (gid, dst)", ErrAbort)
+		}
+		gid, dst := string(args[0]), string(args[1])
+		if holder, held := ctx.GetState(XLockKey(dst)); held && string(holder) != gid {
+			return fmt.Errorf("%w: %s locked by %s", ErrAbort, dst, holder)
+		}
+		if _, ok := getBal(ctx, CheckingKey(dst)); !ok {
+			return fmt.Errorf("%w: no account %s", ErrAbort, dst)
+		}
+		ctx.PutState(XLockKey(dst), []byte(gid))
+		return nil
+
+	case "commit_debit":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: commit_debit wants (gid, src)", ErrAbort)
+		}
+		gid, src := string(args[0]), string(args[1])
+		ctx.DelState(XEscrowKey(gid, src))
+		releaseLock(ctx, gid, src)
+		return nil
+
+	case "commit_credit":
+		if len(args) != 3 {
+			return fmt.Errorf("%w: commit_credit wants (gid, dst, amount)", ErrAbort)
+		}
+		gid, dst := string(args[0]), string(args[1])
+		amt, err := strconv.ParseInt(string(args[2]), 10, 64)
+		if err != nil || amt < 0 {
+			return fmt.Errorf("%w: bad amount", ErrAbort)
+		}
+		if bal, ok := getBal(ctx, CheckingKey(dst)); ok {
+			putBal(ctx, CheckingKey(dst), bal+amt)
+		}
+		releaseLock(ctx, gid, dst)
+		return nil
+
+	case "abort_debit":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: abort_debit wants (gid, src)", ErrAbort)
+		}
+		gid, src := string(args[0]), string(args[1])
+		// Refund only if our prepare actually escrowed (it may have aborted
+		// before applying anything — abort must stay idempotent).
+		if raw, ok := ctx.GetState(XEscrowKey(gid, src)); ok {
+			if amt, err := strconv.ParseInt(string(raw), 10, 64); err == nil {
+				if bal, ok := getBal(ctx, CheckingKey(src)); ok {
+					putBal(ctx, CheckingKey(src), bal+amt)
+				}
+			}
+			ctx.DelState(XEscrowKey(gid, src))
+		}
+		releaseLock(ctx, gid, src)
+		return nil
+
+	case "abort_credit":
+		if len(args) != 2 {
+			return fmt.Errorf("%w: abort_credit wants (gid, dst)", ErrAbort)
+		}
+		releaseLock(ctx, string(args[0]), string(args[1]))
+		return nil
+
+	default:
+		return fmt.Errorf("%w: unknown function %q", ErrAbort, fn)
+	}
+}
+
+// releaseLock clears acct's transfer lock iff gid holds it. A lock taken by
+// a different (later) transfer must survive this gid's decision.
+func releaseLock(ctx *TxContext, gid, acct string) {
+	if holder, held := ctx.GetState(XLockKey(acct)); held && string(holder) == gid {
+		ctx.DelState(XLockKey(acct))
+	}
+}
+
+// DeclaredWrites implements KeyDeclarer. Declared pessimistically (a
+// decision function may write fewer keys than declared when there is
+// nothing to undo); routing only needs the set to stay within one shard,
+// and every key here shards with the account.
+func (XShard) DeclaredWrites(fn string, args [][]byte) []string {
+	if len(args) < 2 {
+		return nil
+	}
+	gid, acct := string(args[0]), string(args[1])
+	switch fn {
+	case "prepare_debit", "commit_debit", "abort_debit":
+		return []string{CheckingKey(acct), XEscrowKey(gid, acct), XLockKey(acct)}
+	case "prepare_credit", "abort_credit":
+		return []string{XLockKey(acct)}
+	case "commit_credit":
+		return []string{CheckingKey(acct), XLockKey(acct)}
+	default:
+		return nil
+	}
+}

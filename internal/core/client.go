@@ -20,6 +20,16 @@ type ClientNode struct {
 
 	pending    map[types.TxID]*types.Transaction
 	retryArmed bool
+
+	// hook, when non-nil, observes every commit-notice entry addressed to
+	// this client after pending bookkeeping — the sharded harness's 2PC
+	// coordinator rides on a dedicated client per shard (DESIGN.md §14).
+	hook func(ctx *simnet.Context, e CommitEntry)
+	// quiet suppresses collector accounting and trace stages: coordinator
+	// sub-transactions are pipeline internals, not workload transactions,
+	// and must not distort throughput/latency metrics. The pending map and
+	// retransmission path stay live so §4.5 liveness covers sub-txns too.
+	quiet bool
 }
 
 // Endpoint returns the client's simnet endpoint.
@@ -37,9 +47,14 @@ func (cl *ClientNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg sim
 				continue
 			}
 			delete(cl.pending, e.TxID)
-			cl.c.Collector.Committed(e.TxID, ctx.Now(), e.Aborted)
-			if tr := cl.c.tracer; tr != nil {
-				tr.TxStage(e.TxID, trace.StageNotified, int(cl.ep.ID()), ctx.Now())
+			if !cl.quiet {
+				cl.c.Collector.Committed(e.TxID, ctx.Now(), e.Aborted)
+				if tr := cl.c.tracer; tr != nil {
+					tr.TxStage(e.TxID, trace.StageNotified, int(cl.ep.ID()), ctx.Now())
+				}
+			}
+			if cl.hook != nil {
+				cl.hook(ctx, e)
 			}
 		}
 	case *SubmitBatch:
@@ -52,9 +67,11 @@ func (cl *ClientNode) OnMessage(ctx *simnet.Context, from simnet.NodeID, msg sim
 func (cl *ClientNode) submit(ctx *simnet.Context, txns []*types.Transaction) {
 	for _, tx := range txns {
 		cl.pending[tx.ID()] = tx
-		cl.c.Collector.Submitted(tx.ID(), ctx.Now())
-		if tr := cl.c.tracer; tr != nil {
-			tr.TxStage(tx.ID(), trace.StageSubmit, int(cl.ep.ID()), ctx.Now())
+		if !cl.quiet {
+			cl.c.Collector.Submitted(tx.ID(), ctx.Now())
+			if tr := cl.c.tracer; tr != nil {
+				tr.TxStage(tx.ID(), trace.StageSubmit, int(cl.ep.ID()), ctx.Now())
+			}
 		}
 	}
 	leader := cl.c.leaderIdx()

@@ -63,6 +63,14 @@ type Cluster struct {
 	keyOwner  contract.KeyOwnerFunc
 	tracer    *trace.Tracer
 
+	// Multicast group names, namespaced by Cfg.Label so clusters sharing
+	// one Network (sharded deployments) cannot hear each other's traffic.
+	// For a standalone cluster these equal the package constants.
+	groupTxns, groupBlocks, groupPersist string
+	// ownsSim is false when the Sim/Net were injected via Config: the owner
+	// (the sharded harness) configured partitions and drives the run.
+	ownsSim bool
+
 	violationsMu sync.Mutex
 	violations   []string
 }
@@ -77,20 +85,29 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.F == 0 && cfg.NumConsensus >= 4 {
 		cfg.F = (cfg.NumConsensus - 1) / 3
 	}
-	sim := simnet.NewSim(cfg.Seed)
-	// Hub-and-shards PDES partitioning: consensus nodes, sequencers, and
-	// clients share partition 0 (they read each other's state mid-run);
-	// organizations of normal nodes shard over the remaining partitions.
-	nparts := simnet.PartitionCount(cfg.SimWorkers, cfg.NumOrgs)
-	sim.SetPartitions(nparts)
-	sim.SetWorkers(cfg.SimWorkers)
-	net := simnet.NewNetwork(sim, cfg.Topology)
-	net.SetTracer(cfg.Tracer)
-	scheme := crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
+	sim, net, scheme := cfg.Sim, cfg.Net, cfg.Scheme
+	ownsSim := sim == nil
+	if ownsSim {
+		sim = simnet.NewSim(cfg.Seed)
+		// Hub-and-shards PDES partitioning: consensus nodes, sequencers, and
+		// clients share partition 0 (they read each other's state mid-run);
+		// organizations of normal nodes shard over the remaining partitions.
+		sim.SetPartitions(simnet.PartitionCount(cfg.SimWorkers, cfg.NumOrgs))
+		sim.SetWorkers(cfg.SimWorkers)
+		net = simnet.NewNetwork(sim, cfg.Topology)
+		net.SetTracer(cfg.Tracer)
+		scheme = crypto.NewHMACScheme([]byte(fmt.Sprintf("bidl-%d", cfg.Seed)))
+	}
+	nparts := sim.NumPartitions()
 	reg := contract.NewRegistry()
 	reg.Deploy(contract.SmallBank{})
 	reg.Deploy(contract.Settlement{})
+	reg.Deploy(contract.XShard{})
 
+	collector := cfg.Collector
+	if collector == nil {
+		collector = metrics.NewCollector()
+	}
 	seed := crypto.Hash([]byte(fmt.Sprintf("leader-rotation-%d", cfg.Seed)))
 	c := &Cluster{
 		Cfg:       cfg,
@@ -98,14 +115,18 @@ func NewCluster(cfg Config) *Cluster {
 		Net:       net,
 		Scheme:    scheme,
 		Registry:  reg,
-		Collector: metrics.NewCollector(),
+		Collector: collector,
 		Clients:   make(map[crypto.Identity]*ClientNode),
 		cnIndex:   make(map[simnet.NodeID]int),
 		clientEps: make(map[crypto.Identity]simnet.NodeID),
 		// BIDL's unpredictable epoch rotation (§4.6).
-		policy:   consensus.RandomEpoch{N: cfg.NumConsensus, Seed: seed},
-		keyOwner: cfg.KeyOwner,
-		tracer:   cfg.Tracer,
+		policy:       consensus.RandomEpoch{N: cfg.NumConsensus, Seed: seed},
+		keyOwner:     cfg.KeyOwner,
+		tracer:       cfg.Tracer,
+		groupTxns:    cfg.Label + groupTxns,
+		groupBlocks:  cfg.Label + groupBlocks,
+		groupPersist: cfg.Label + groupPersist,
+		ownsSim:      ownsSim,
 	}
 	if c.keyOwner == nil {
 		c.keyOwner = contract.SmallBankKeyOwner(cfg.NumOrgs)
@@ -134,7 +155,7 @@ func NewCluster(cfg Config) *Cluster {
 	// Consensus nodes + their co-located sequencers.
 	for i := 0; i < cfg.NumConsensus; i++ {
 		cn := newConsNode(c, i, i%cfg.NumOrgs)
-		cn.ep = net.Register(fmt.Sprintf("cn%d", i), dc(node), cn)
+		cn.ep = net.Register(fmt.Sprintf("%scn%d", cfg.Label, i), dc(node), cn)
 		node++
 		c.cnIndex[cn.ep.ID()] = i
 		scheme.Register(cnIdentity(i))
@@ -145,11 +166,11 @@ func NewCluster(cfg Config) *Cluster {
 
 		seqNode := &SequencerNode{c: c, idx: i}
 		// The sequencer shares the consensus node's server (same DC).
-		seqNode.ep = net.Register(fmt.Sprintf("seq%d", i), cn.ep.DC(), seqNode)
+		seqNode.ep = net.Register(fmt.Sprintf("%sseq%d", cfg.Label, i), cn.ep.DC(), seqNode)
 		c.Sequencers = append(c.Sequencers, seqNode)
 
-		net.Join(groupTxns, cn.ep.ID())
-		net.Join(groupBlocks, cn.ep.ID())
+		net.Join(c.groupTxns, cn.ep.ID())
+		net.Join(c.groupBlocks, cn.ep.ID())
 	}
 
 	// Organizations of normal nodes.
@@ -158,11 +179,12 @@ func NewCluster(cfg Config) *Cluster {
 		var orgNodes []*NormalNode
 		for j := 0; j < cfg.NormalPerOrg; j++ {
 			nn := newNormalNode(c, o, j, cfg.Seed*1_000_003+int64(o*64+j))
-			nn.ep = net.RegisterPart(fmt.Sprintf("%s-nn%d", orgName(o), j), dc(node), simnet.ShardPartition(o, nparts), nn)
+			nn.ep = net.RegisterPart(fmt.Sprintf("%s%s-nn%d", cfg.Label, orgName(o), j), dc(node),
+				simnet.ShardPartition(cfg.OrgPartitionOffset+o, nparts), nn)
 			node++
-			net.Join(groupTxns, nn.ep.ID())
-			net.Join(groupBlocks, nn.ep.ID())
-			net.Join(groupPersist, nn.ep.ID())
+			net.Join(c.groupTxns, nn.ep.ID())
+			net.Join(c.groupBlocks, nn.ep.ID())
+			net.Join(c.groupPersist, nn.ep.ID())
 			orgNodes = append(orgNodes, nn)
 		}
 		c.Orgs = append(c.Orgs, orgNodes)
@@ -193,11 +215,25 @@ func (c *Cluster) RegisterClients(ids []crypto.Identity) {
 			continue
 		}
 		cl := &ClientNode{c: c, id: id, pending: make(map[types.TxID]*types.Transaction)}
-		cl.ep = c.Net.Register("client-"+string(id), 0, cl)
+		cl.ep = c.Net.Register(c.Cfg.Label+"client-"+string(id), 0, cl)
 		c.Clients[id] = cl
 		c.clientEps[id] = cl.ep.ID()
 	}
 }
+
+// SetClientHook marks an already-registered client as a quiet coordinator
+// endpoint: its submissions and notifications bypass the metrics collector
+// and tracer, and hook observes every commit-notice entry it receives. The
+// sharded harness attaches its 2PC coordinators this way (DESIGN.md §14).
+func (c *Cluster) SetClientHook(id crypto.Identity, hook func(*simnet.Context, CommitEntry)) {
+	cl := c.Clients[id]
+	cl.hook = hook
+	cl.quiet = true
+}
+
+// ClientEndpoint returns a registered client's endpoint ID (the address the
+// sharded harness uses to hand decision batches to a shard's coordinator).
+func (c *Cluster) ClientEndpoint(id crypto.Identity) simnet.NodeID { return c.clientEps[id] }
 
 // Prepopulate applies fn to every normal node's committed state (workload
 // account seeding).
@@ -292,7 +328,7 @@ func (c *Cluster) CheckSafety() error {
 	ledgers := make([]ledger.SafetyView, 0, len(c.ConsNodes)+c.Cfg.NumOrgs*c.Cfg.NormalPerOrg)
 	for i, cn := range c.ConsNodes {
 		ledgers = append(ledgers, ledger.SafetyView{
-			Label:  fmt.Sprintf("consensus node %d", i),
+			Label:  fmt.Sprintf("%sconsensus node %d", c.Cfg.Label, i),
 			Blocks: cn.blocks,
 		})
 	}
@@ -301,7 +337,7 @@ func (c *Cluster) CheckSafety() error {
 		group := make([]ledger.SafetyView, 0, len(org))
 		for j, nn := range org {
 			v := ledger.SafetyView{
-				Label:  fmt.Sprintf("normal node %s/%d", orgName(o), j),
+				Label:  fmt.Sprintf("%snormal node %s/%d", c.Cfg.Label, orgName(o), j),
 				Blocks: nn.blocks,
 				State:  nn.base,
 				Height: nn.commitHeight,
@@ -338,12 +374,12 @@ func (c *Cluster) VirtualEvents() uint64 { return c.Sim.Events() }
 // adversary is NOT a member: it holds no registered identity.
 func (c *Cluster) AttachAdversary(name string, dc int, h simnet.Handler) *simnet.Endpoint {
 	ep := c.Net.Register(name, dc, h)
-	c.Net.Join(groupTxns, ep.ID())
+	c.Net.Join(c.groupTxns, ep.ID())
 	return ep
 }
 
 // TxnGroup names the sequencer multicast group (for adversaries).
-func (c *Cluster) TxnGroup() string { return groupTxns }
+func (c *Cluster) TxnGroup() string { return c.groupTxns }
 
 // LedgerDigest returns consensus node 0's chained head-of-ledger digest.
 // Because every block digest folds in its predecessor, two runs with equal

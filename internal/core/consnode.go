@@ -196,7 +196,7 @@ func (n *ConsNode) statusTick() {
 	n.host().After(interval, func() {
 		n.statusArmed = false
 		if n.replica.IsLeader() && n.chainHeight > 0 {
-			n.ctx.Multicast(groupBlocks, &ChainStatus{Height: n.chainHeight})
+			n.ctx.Multicast(n.c.groupBlocks, &ChainStatus{Height: n.chainHeight})
 		}
 		// Re-assert the co-located sequencer's desired state: the
 		// activation handoff is just a message, and losing it (e.g. to a
@@ -588,9 +588,9 @@ func (n *ConsNode) processBlock(number uint64, blk *deliveredBlock) {
 		bm := &BlockMsg{Number: number, Ordering: types.EncodeOrdering(blk.seqs, blk.hashes), Cert: blk.cert}
 		bm.warmCaches()
 		if cfg.DisableMulticast {
-			n.ctx.MulticastUnicast(groupBlocks, bm)
+			n.ctx.MulticastUnicast(n.c.groupBlocks, bm)
 		} else {
-			n.ctx.Multicast(groupBlocks, bm)
+			n.ctx.Multicast(n.c.groupBlocks, bm)
 		}
 	}
 
@@ -746,9 +746,9 @@ func (n *ConsNode) flushPersist() {
 	msg := &PersistMsg{Node: n.idx, Entries: entries}
 	msg.Sig = n.Sign(persistSigningBytes(n.idx, entries))
 	if n.c.Cfg.DisableMulticast {
-		n.ctx.MulticastUnicast(groupPersist, msg)
+		n.ctx.MulticastUnicast(n.c.groupPersist, msg)
 	} else {
-		n.ctx.Multicast(groupPersist, msg)
+		n.ctx.Multicast(n.c.groupPersist, msg)
 	}
 }
 
@@ -1015,7 +1015,7 @@ func (n *ConsNode) ViewChanged(view uint64, leader int, metas [][]byte) {
 			}
 			upd := &DenyUpdate{Node: n.idx, Clients: newly}
 			upd.Sig = n.Sign(denySigningBytes(n.idx, newly))
-			n.ctx.Multicast(groupPersist, upd)
+			n.ctx.Multicast(n.c.groupPersist, upd)
 			if n.c.Cfg.DenyRejoin > 0 {
 				n.host().After(n.c.Cfg.DenyRejoin, func() {
 					for _, c := range newly {

@@ -144,9 +144,9 @@ func (s *SequencerNode) flush(ctx *simnet.Context) {
 	// paper's 40-50k txns/s.
 	ctx.Elapse(time.Duration(len(batch.Txns)) * s.c.Cfg.Costs.SequencerPerTxn)
 	if s.c.Cfg.DisableMulticast {
-		ctx.MulticastUnicast(groupTxns, batch)
+		ctx.MulticastUnicast(s.c.groupTxns, batch)
 	} else {
-		ctx.Multicast(groupTxns, batch)
+		ctx.Multicast(s.c.groupTxns, batch)
 	}
 }
 

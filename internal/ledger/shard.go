@@ -1,0 +1,126 @@
+package ledger
+
+import "hash/fnv"
+
+// Keyspace partitioning for the sharded multi-channel engine (DESIGN.md §14).
+//
+// Every world-state key deterministically belongs to exactly one of n shards.
+// The mapping must be stable under the key formats the built-in contracts and
+// workload generator emit, and — critically — must NOT correlate with the
+// account→org mapping (org = index % numOrgs): a positional `index % n` shard
+// would make "cross-shard" and "cross-org" the same predicate whenever
+// numOrgs and n share a factor, and the generator's cross-shard draw could
+// then never find a same-shard pair to fall back on. IndexShard therefore
+// decorrelates with a Knuth multiplicative hash before reducing mod n.
+
+// knuthMul is the 32-bit multiplicative-hash constant (2^32 / φ).
+const knuthMul = 2654435761
+
+// IndexShard maps a dense entity index (account number, fee-org index, flow
+// sequence) to a shard in [0, n). It is the single source of truth that
+// KeyShard and the workload generator's routing both reduce to, so a
+// transaction's declared key set always routes to the shard that executes it.
+func IndexShard(i, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Fixed-point range reduction on the HIGH bits of the product: a plain
+	// `mod n` would reuse the low bits, which an odd multiplier preserves
+	// exactly (i ≡ 0 mod 4 ⇒ i*c ≡ 0 mod 4), resurrecting the org
+	// correlation for power-of-two shard counts.
+	h := uint32(i) * knuthMul
+	return int((uint64(h) * uint64(n)) >> 32)
+}
+
+// KeyShard maps a world-state key to a shard in [0, n). Recognized formats
+// (the contracts' and generator's entire key vocabulary) route through
+// IndexShard on the embedded entity index so that all keys of one entity —
+// checking + savings of an account, escrow of a flow — land on one shard:
+//
+//	sb:chk:acct-<i>, sb:sav:acct-<i>, acct-<i>  → IndexShard(i)
+//	stl:fee:org<k>                              → IndexShard(k)
+//	stl:esc:flow-<seq>                          → IndexShard(seq)
+//	xs:lock:<inner>                             → KeyShard(inner)
+//	sb:chk:<name>, sb:sav:<name>                → content hash of <name>
+//
+// The last rule matters for free-form account names (the nondet workload's
+// create_random accounts): checking and savings of one account must co-shard
+// even when the name embeds no index, so the balance-kind prefix is stripped
+// before hashing. Fully unrecognized keys fall back to an FNV-1a content
+// hash of the whole key — still deterministic, just not index-aligned.
+func KeyShard(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if inner, ok := cutPrefix(key, "xs:lock:"); ok {
+		return KeyShard(inner, n)
+	}
+	if i, ok := suffixIndexAfter(key, "acct-"); ok {
+		return IndexShard(i, n)
+	}
+	if i, ok := suffixIndexAfter(key, "flow-"); ok {
+		return IndexShard(i, n)
+	}
+	if rest, ok := cutPrefix(key, "stl:fee:org"); ok {
+		if k, ok := parseAllDigits(rest); ok {
+			return IndexShard(k, n)
+		}
+	}
+	if name, ok := cutPrefix(key, "sb:chk:"); ok {
+		return contentShard(name, n)
+	}
+	if name, ok := cutPrefix(key, "sb:sav:"); ok {
+		return contentShard(name, n)
+	}
+	return contentShard(key, n)
+}
+
+// contentShard hashes arbitrary content to a shard with FNV-1a, reduced on
+// the high bits like IndexShard.
+func contentShard(s string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return int((uint64(h.Sum32()) * uint64(n)) >> 32)
+}
+
+// cutPrefix is strings.CutPrefix without pulling the strings package into
+// the hot path (this file must stay alloc-free: KeyShard runs per key per
+// transaction during routing).
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// suffixIndexAfter finds the LAST occurrence of marker in s and parses the
+// remainder as a decimal index; it only matches when the remainder is
+// entirely digits (so "acct-12-shadow" does not route as account 12).
+func suffixIndexAfter(s, marker string) (int, bool) {
+	// Search backwards for the marker.
+	for i := len(s) - len(marker); i >= 0; i-- {
+		if s[i:i+len(marker)] == marker {
+			return parseAllDigits(s[i+len(marker):])
+		}
+	}
+	return 0, false
+}
+
+// parseAllDigits parses s as a non-empty all-digit decimal int.
+func parseAllDigits(s string) (int, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	v := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int(c-'0')
+		if v < 0 { // overflow: fall back to content hash
+			return 0, false
+		}
+	}
+	return v, true
+}

@@ -1,0 +1,122 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Every key format the contracts and generator emit must route through the
+// embedded entity index, so all keys of one entity land on one shard.
+func TestKeyShardFormats(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 7, 8} {
+		for _, idx := range []int{0, 1, 7, 12, 999, 1_000_000} {
+			want := IndexShard(idx, n)
+			keys := []string{
+				fmt.Sprintf("sb:chk:acct-%d", idx),
+				fmt.Sprintf("sb:sav:acct-%d", idx),
+				fmt.Sprintf("acct-%d", idx),
+				fmt.Sprintf("stl:fee:org%d", idx),
+				fmt.Sprintf("stl:esc:flow-%d", idx),
+				fmt.Sprintf("xs:lock:sb:chk:acct-%d", idx),
+			}
+			for _, k := range keys {
+				if got := KeyShard(k, n); got != want {
+					t.Errorf("KeyShard(%q, %d) = %d, want IndexShard(%d)=%d", k, n, got, idx, want)
+				}
+			}
+		}
+	}
+}
+
+// KeyShard must be a pure function: the same key maps to the same shard on
+// every call, and always lands in range.
+func TestKeyShardStable(t *testing.T) {
+	keys := []string{
+		"sb:chk:acct-42", "sb:sav:acct-42", "acct-42",
+		"stl:fee:org3", "stl:esc:flow-17",
+		"xs:lock:sb:chk:acct-42", "xs:esc:g-0-1",
+		"some-opaque-key", "", "acct-", "acct-12-shadow",
+	}
+	for _, n := range []int{1, 2, 3, 4, 16, 64} {
+		for _, k := range keys {
+			first := KeyShard(k, n)
+			if first < 0 || first >= max(n, 1) {
+				t.Fatalf("KeyShard(%q, %d) = %d out of range", k, n, first)
+			}
+			for i := 0; i < 3; i++ {
+				if got := KeyShard(k, n); got != first {
+					t.Fatalf("KeyShard(%q, %d) unstable: %d then %d", k, n, first, got)
+				}
+			}
+		}
+	}
+}
+
+// Malformed index suffixes must not be parsed as entity indices; they fall
+// back to the content hash (deterministic, in range) rather than aliasing a
+// real account's shard by accident.
+func TestKeyShardMalformedSuffix(t *testing.T) {
+	if KeyShard("acct-12-shadow", 4) == KeyShard("acct-12", 4) &&
+		KeyShard("acct-12-shadow", 5) == KeyShard("acct-12", 5) &&
+		KeyShard("acct-12-shadow", 7) == KeyShard("acct-12", 7) {
+		t.Error("acct-12-shadow routed as account 12 across multiple shard counts")
+	}
+	for _, k := range []string{"acct-", "stl:fee:orgX", "flow-", "sb:chk:acct-9x"} {
+		for _, n := range []int{2, 4} {
+			if got := KeyShard(k, n); got < 0 || got >= n {
+				t.Errorf("KeyShard(%q, %d) = %d out of range", k, n, got)
+			}
+		}
+	}
+}
+
+// IndexShard must not degenerate: with shard counts that divide typical org
+// counts, dense indices still spread over every shard (the whole point of
+// the multiplicative hash — positional i%n would collapse shard onto org).
+func TestIndexShardSpreads(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		seen := make(map[int]int)
+		for i := 0; i < 1024; i++ {
+			s := IndexShard(i, n)
+			if s < 0 || s >= n {
+				t.Fatalf("IndexShard(%d, %d) = %d out of range", i, n, s)
+			}
+			seen[s]++
+		}
+		if len(seen) != n {
+			t.Errorf("IndexShard with n=%d hit only %d shards", n, len(seen))
+		}
+		// Decorrelation from org = i % k for small org counts: accounts of
+		// one org must not all land on one shard.
+		for _, orgs := range []int{2, 4} {
+			shardsOfOrg0 := make(map[int]bool)
+			for i := 0; i < 1024; i += orgs {
+				shardsOfOrg0[IndexShard(i, n)] = true
+			}
+			if len(shardsOfOrg0) < 2 {
+				t.Errorf("n=%d orgs=%d: org 0's accounts collapse onto one shard", n, orgs)
+			}
+		}
+	}
+}
+
+// n <= 1 always routes to shard 0 (the unsharded degenerate case).
+func TestKeyShardUnsharded(t *testing.T) {
+	for _, k := range []string{"sb:chk:acct-9", "anything"} {
+		for _, n := range []int{-1, 0, 1} {
+			if got := KeyShard(k, n); got != 0 {
+				t.Errorf("KeyShard(%q, %d) = %d, want 0", k, n, got)
+			}
+			if got := IndexShard(5, n); got != 0 {
+				t.Errorf("IndexShard(5, %d) = %d, want 0", n, got)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

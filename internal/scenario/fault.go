@@ -24,6 +24,11 @@ type FaultSpec struct {
 	Node int `json:"node,omitempty"`
 	DC   int `json:"dc,omitempty"`
 
+	// Shard targets the fault at one channel of a sharded deployment
+	// (scenario.Shards > 1); org/node/dc indices are then relative to that
+	// shard's cluster. Must be 0 when the scenario is unsharded.
+	Shard int `json:"shard,omitempty"`
+
 	// Count cycles of one crash/restart every Period (churn).
 	Count  int      `json:"count,omitempty"`
 	Period Duration `json:"period,omitempty"`
@@ -97,6 +102,24 @@ func (s Scenario) compiledFaults() []chaos.Fault {
 	return out
 }
 
+// faultsForShard compiles the engine-form schedule targeting shard i: the
+// spec entries whose shard field matches, plus — on shard 0 — the legacy
+// attack spec.
+func (s Scenario) faultsForShard(i int) []chaos.Fault {
+	var out []chaos.Fault
+	for _, f := range s.Faults {
+		if f.Shard == i {
+			out = append(out, f.fault())
+		}
+	}
+	if i == 0 {
+		if a := s.Attack.attackFault(); a.Kind != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // validateFaults rejects schedules the chaos engine or the compiled
 // cluster cannot honor: malformed schedules (unknown kinds, negative
 // times, overlapping windows — chaos.ValidateSchedule), out-of-range
@@ -107,8 +130,27 @@ func (s Scenario) validateFaults(orgs, perOrg, dcs int, isBIDL bool) error {
 	if len(faults) == 0 {
 		return nil
 	}
-	if err := chaos.ValidateSchedule(faults); err != nil {
+	if s.Shards > 1 {
+		// Shards fault independently: the overlap discipline applies per
+		// shard schedule, so e.g. two concurrent crashes of org 0 on
+		// different shards are legal.
+		for i := 0; i < s.Shards; i++ {
+			if err := chaos.ValidateSchedule(s.faultsForShard(i)); err != nil {
+				return fmt.Errorf("scenario: shard %d: %w", i, err)
+			}
+		}
+	} else if err := chaos.ValidateSchedule(faults); err != nil {
 		return fmt.Errorf("scenario: %w", err)
+	}
+	maxShard := s.Shards
+	if maxShard < 1 {
+		maxShard = 1
+	}
+	for i, f := range s.Faults {
+		if f.Shard < 0 || f.Shard >= maxShard {
+			return fmt.Errorf("scenario: fault %d (%s): shard %d out of range (scenario has %d shard(s))",
+				i, f.Kind, f.Shard, maxShard)
+		}
 	}
 	for i, f := range faults {
 		switch f.Kind {

@@ -5,7 +5,6 @@ import (
 	"math"
 	"time"
 
-	"github.com/bidl-framework/bidl/internal/attack"
 	"github.com/bidl-framework/bidl/internal/baseline/fabric"
 	"github.com/bidl-framework/bidl/internal/chaos"
 	"github.com/bidl-framework/bidl/internal/core"
@@ -15,12 +14,6 @@ import (
 	"github.com/bidl-framework/bidl/internal/trace"
 	"github.com/bidl-framework/bidl/internal/trace/anatomy"
 	"github.com/bidl-framework/bidl/internal/workload"
-)
-
-// Both clusters must satisfy the framework-agnostic harness surface.
-var (
-	_ Harness = (*core.Cluster)(nil)
-	_ Harness = (*fabric.Cluster)(nil)
 )
 
 // Result summarizes one scenario run.
@@ -69,10 +62,11 @@ type RunConfig struct {
 func Run(s Scenario) (Result, error) { return RunWith(s, RunConfig{}) }
 
 // RunWith is Run with runtime knobs. It is the one shared driver behind
-// every registry experiment, `bidl-sim`, and `bidl-sim -scenario`: build
-// the framework's cluster from the compiled spec, register the workload's
-// clients, prepopulate accounts, arm the attack, schedule the offered
-// load, run past the window to drain, then summarize and safety-check.
+// every registry experiment, `bidl-sim`, and `bidl-sim -scenario`: look up
+// the spec's compile target (see target.go), build that family's harness,
+// register the workload's clients, prepopulate accounts, arm the fault
+// schedule, schedule the offered load, run past the window to drain, then
+// summarize and safety-check.
 func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {
@@ -97,27 +91,14 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 		drain = 500 * time.Millisecond
 	}
 
-	var (
-		h    Harness
-		bc   *core.Cluster
-		fc   *fabric.Cluster
-		orgs int
-	)
-	if s.Framework == FrameworkBIDL {
-		cfg := s.bidlConfig()
-		cfg.Tracer = rc.Tracer
-		bc = core.NewCluster(cfg)
-		bc.Sim.ForceSerial(rc.ForceSerialSim)
-		h, orgs = bc, cfg.NumOrgs
-	} else {
-		cfg := s.fabricConfig()
-		cfg.Tracer = rc.Tracer
-		fc = fabric.NewCluster(cfg)
-		fc.Sim.ForceSerial(rc.ForceSerialSim)
-		h, orgs = fc, cfg.NumOrgs
+	target, ok := compileTargets[s.targetName()]
+	if !ok {
+		return Result{}, fmt.Errorf("scenario: no compile target registered for %q", s.targetName())
 	}
+	b := target(s, rc)
+	h := b.harness
 
-	w := s.workloadConfig(orgs)
+	w := s.workloadConfig(b.orgs)
 	gen := workload.NewGenerator(w, h.IdentityScheme())
 	ids := make([]crypto.Identity, w.NumClients)
 	for i := range ids {
@@ -133,7 +114,7 @@ func RunWith(s Scenario, rc RunConfig) (Result, error) {
 	// Faults arm after the membership is complete (the broadcaster
 	// registers its own endpoint; doing so earlier would shift endpoint
 	// IDs and change the run) but before any load is scheduled.
-	s.applyFaults(bc, fc, gen)
+	b.armFaults(gen)
 	submitted, err := d.ScheduleLoad(gen, s.Load)
 	if err != nil {
 		return Result{}, err
@@ -452,115 +433,13 @@ func (s Scenario) workloadConfig(orgs int) workload.Config {
 	if w.Seed == 0 {
 		w.Seed = s.EffectiveSeed()
 	}
+	// Shard-aware routing only arms for genuinely sharded runs, so the
+	// single-channel generator stream stays byte-identical.
+	if s.Shards > 1 {
+		w.Shards = s.Shards
+		w.CrossShardRatio = s.CrossShardRatio
+	}
 	return w
-}
-
-// applyFaults compiles the spec's fault schedule (faults array plus the
-// legacy attack spec) and installs it on the freshly built cluster.
-// Exactly one of bc/fc is non-nil; Validate has already rejected
-// schedules that cannot be armed.
-func (s Scenario) applyFaults(bc *core.Cluster, fc *fabric.Cluster, gen *workload.Generator) {
-	faults := s.compiledFaults()
-	if len(faults) == 0 {
-		return
-	}
-	var env chaos.Env
-	if bc != nil {
-		env = bidlChaosEnv(bc, gen)
-	} else {
-		env = fabricChaosEnv(fc)
-	}
-	chaos.NewInjector(env, faults, s.EffectiveSeed()).Install()
-}
-
-// bidlChaosEnv assembles the injector's cluster surface for BIDL:
-// endpoint rosters plus closures binding the malicious-leader toggle and
-// broadcaster attachment to the attack package.
-func bidlChaosEnv(bc *core.Cluster, gen *workload.Generator) chaos.Env {
-	cons := make([]*simnet.Endpoint, len(bc.ConsNodes))
-	seqs := make([]*simnet.Endpoint, len(bc.Sequencers))
-	for i, cn := range bc.ConsNodes {
-		cons[i] = cn.Endpoint()
-	}
-	for i, sq := range bc.Sequencers {
-		seqs[i] = sq.Endpoint()
-	}
-	orgs := make([][]*simnet.Endpoint, len(bc.Orgs))
-	for i, org := range bc.Orgs {
-		orgs[i] = make([]*simnet.Endpoint, len(org))
-		for j, nn := range org {
-			orgs[i][j] = nn.Endpoint()
-		}
-	}
-	return chaos.Env{
-		Sim:         bc.Sim,
-		Net:         bc.Net,
-		Consensus:   cons,
-		Sequencers:  seqs,
-		Orgs:        orgs,
-		LeaderIndex: bc.LeaderIndex,
-		SetLeaderEvil: func(on bool) {
-			if on {
-				attack.EnableMaliciousLeader(bc, bc.LeaderIndex())
-				return
-			}
-			for _, sq := range bc.Sequencers {
-				sq.Garbage = false
-			}
-		},
-		StartBroadcaster: func(f chaos.Fault) {
-			cfg := attack.DefaultBroadcasterConfig()
-			if len(f.MaliciousClients) > 0 {
-				cfg.MaliciousClients = f.MaliciousClients
-			}
-			if f.Window > 0 {
-				cfg.Window = f.Window
-			}
-			if f.Interval != 0 {
-				cfg.Interval = f.Interval
-			}
-			if f.DetectLag != 0 {
-				cfg.DetectLag = f.DetectLag
-			}
-			if f.Kind == chaos.KindSmart {
-				cfg.TargetLeader = bc.LeaderIndex()
-			}
-			attack.NewBroadcaster(bc, gen, cfg).Start(f.At)
-		},
-	}
-}
-
-// fabricChaosEnv assembles the injector's cluster surface for a baseline:
-// orderers play the consensus role, peers the org role, and there is no
-// sequencer multicast to race (broadcaster kinds are validated out).
-func fabricChaosEnv(fc *fabric.Cluster) chaos.Env {
-	cons := make([]*simnet.Endpoint, len(fc.Orderers))
-	for i, o := range fc.Orderers {
-		cons[i] = o.Endpoint()
-	}
-	orgs := make([][]*simnet.Endpoint, len(fc.Peers))
-	for i, org := range fc.Peers {
-		orgs[i] = make([]*simnet.Endpoint, len(org))
-		for j, p := range org {
-			orgs[i][j] = p.Endpoint()
-		}
-	}
-	return chaos.Env{
-		Sim:         fc.Sim,
-		Net:         fc.Net,
-		Consensus:   cons,
-		Orgs:        orgs,
-		LeaderIndex: fc.LeaderIndex,
-		SetLeaderEvil: func(on bool) {
-			if on {
-				fc.Orderers[fc.LeaderIndex()].ProposeGarbage = true
-				return
-			}
-			for _, o := range fc.Orderers {
-				o.ProposeGarbage = false
-			}
-		},
-	}
 }
 
 // Validate reports the first error in the spec or in the framework config
@@ -577,6 +456,18 @@ func (s Scenario) Validate() error {
 	}
 	if s.SimWorkers < 0 || s.SimWorkers > simnet.MaxPartitions {
 		return fmt.Errorf("scenario: sim_workers must be in [0,%d] (got %d)", simnet.MaxPartitions, s.SimWorkers)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("scenario: shards must be >= 0 (got %d)", s.Shards)
+	}
+	if s.Shards > 1 && !isBIDL {
+		return fmt.Errorf("scenario: shards > 1 requires the bidl framework (got %q)", s.Framework)
+	}
+	if s.CrossShardRatio < 0 || s.CrossShardRatio > 1 {
+		return fmt.Errorf("scenario: cross_shard_ratio must be in [0,1] (got %g)", s.CrossShardRatio)
+	}
+	if s.CrossShardRatio > 0 && s.Shards <= 1 {
+		return fmt.Errorf("scenario: cross_shard_ratio %g requires shards > 1 (got shards=%d)", s.CrossShardRatio, s.Shards)
 	}
 
 	if s.Load.Window <= 0 {

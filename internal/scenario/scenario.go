@@ -102,6 +102,17 @@ type Scenario struct {
 	// seed, so this is purely a wall-clock knob. Scenarios with an attack
 	// armed always run serially: adversaries mutate cluster state mid-run.
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// Shards splits the deployment into this many independently sequenced
+	// BIDL channels over one shared simulation (scenario.ShardedHarness,
+	// DESIGN.md §14). Each shard is a full copy of the Nodes spec; the
+	// keyspace partitions by ledger.KeyShard and two-shard payments commit
+	// through 2PC. Zero or one selects the single-channel engine — a
+	// `shards: 1` run is byte-identical to one with the field absent.
+	// BIDL only.
+	Shards int `json:"shards,omitempty"`
+	// CrossShardRatio is the probability a generated transfer deliberately
+	// straddles two shards (the 2PC path). Requires Shards > 1.
+	CrossShardRatio float64 `json:"cross_shard_ratio,omitempty"`
 
 	// Nodes sizes the cluster.
 	Nodes NodesSpec `json:"nodes,omitempty"`

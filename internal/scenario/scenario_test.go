@@ -142,6 +142,24 @@ func TestValidate(t *testing.T) {
 		}, "unknown protocol"},
 		{"infeasible-quorum", func(s *Scenario) { s.Nodes = NodesSpec{Consensus: 5, Faults: 2} }, "tolerate"},
 		{"loss-rate-range", func(s *Scenario) { s.Topology.LossRate = 1 }, "LossRate"},
+		{"sharded-valid", func(s *Scenario) { s.Shards = 4; s.CrossShardRatio = 0.2 }, ""},
+		{"shards-one-valid", func(s *Scenario) { s.Shards = 1 }, ""},
+		{"sharded-fault-valid", func(s *Scenario) {
+			s.Shards = 2
+			s.Faults = []FaultSpec{{Kind: "crash", Shard: 1}}
+		}, ""},
+		{"negative-shards", func(s *Scenario) { s.Shards = -1 }, "shards must be >= 0"},
+		{"cross-ratio-needs-shards", func(s *Scenario) { s.CrossShardRatio = 0.2 }, "requires shards > 1"},
+		{"cross-ratio-with-one-shard", func(s *Scenario) { s.Shards = 1; s.CrossShardRatio = 0.2 }, "requires shards > 1"},
+		{"cross-ratio-range", func(s *Scenario) { s.Shards = 2; s.CrossShardRatio = 1.5 }, "cross_shard_ratio"},
+		{"sharded-fabric", func(s *Scenario) { s.Framework = FrameworkHLF; s.Shards = 2 }, "requires the bidl framework"},
+		{"fault-shard-out-of-range", func(s *Scenario) {
+			s.Shards = 2
+			s.Faults = []FaultSpec{{Kind: "crash", Shard: 2}}
+		}, "shard 2 out of range"},
+		{"fault-shard-on-unsharded", func(s *Scenario) {
+			s.Faults = []FaultSpec{{Kind: "crash", Shard: 1}}
+		}, "out of range"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

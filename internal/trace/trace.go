@@ -38,11 +38,14 @@ const (
 	StagePersisted              // persist quorum forms (Phase 4-2)
 	StageAgreed                 // consensus orders the tx hash (Phase 3)
 	StageNotified               // client receives the commit notice (Phase 5)
+	StageXPrepared              // 2PC: all touched shards' prepares resolved (DESIGN.md §14)
+	StageXResolved              // 2PC: commit/abort decision applied on all touched shards
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"submit", "sequenced", "delivered", "exec-start", "executed", "persisted", "agreed", "notified",
+	"x-prepared", "x-resolved",
 }
 
 // String returns the stage's export label.

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/bidl-framework/bidl/internal/contract"
+	"github.com/bidl-framework/bidl/internal/ledger"
+)
+
+// shardRegistry mirrors the contract set every cluster deploys.
+func shardRegistry() *contract.Registry {
+	reg := contract.NewRegistry()
+	reg.Deploy(contract.SmallBank{})
+	reg.Deploy(contract.Settlement{})
+	reg.Deploy(contract.XShard{})
+	return reg
+}
+
+// Property: under a sharded config, every generated transaction's declared
+// write set routes to one shard — except send_payment, which crosses shards
+// and only ever spans exactly two. This is the contract the ShardedHarness
+// classifier relies on: nothing but a two-account payment takes the 2PC path.
+func TestShardedGeneratorRoutesConsistently(t *testing.T) {
+	reg := shardRegistry()
+	for _, n := range []int{2, 4, 8} {
+		cfg := DefaultConfig(8)
+		cfg.Shards = n
+		cfg.CrossShardRatio = 0.2
+		cfg.SettlementRatio = 0.2
+		cfg.NondetRatio = 0.05
+		cfg.ContentionRatio = 0.1
+		g := newGen(cfg)
+		cross := 0
+		for i := 0; i < 3000; i++ {
+			tx := g.Next()
+			keys, ok := reg.DeclaredWrites(tx)
+			if !ok {
+				t.Fatalf("generated unknown contract %q", tx.Contract)
+			}
+			if len(keys) == 0 {
+				continue // read-only or undeclared: routed by client identity
+			}
+			shards := map[int]bool{}
+			for _, k := range keys {
+				shards[ledger.KeyShard(k, n)] = true
+			}
+			if len(shards) == 1 {
+				continue
+			}
+			if tx.Contract != "smallbank" || tx.Fn != "send_payment" || len(shards) != 2 {
+				t.Fatalf("shards=%d: %s/%s writes %v spanning %d shards; only two-shard payments may cross",
+					n, tx.Contract, tx.Fn, keys, len(shards))
+			}
+			cross++
+		}
+		if cross == 0 {
+			t.Fatalf("shards=%d: no cross-shard payments at ratio 0.2", n)
+		}
+	}
+}
+
+// With CrossShardRatio zero, a sharded generator emits no cross-shard
+// write set at all, and the observed cross rate at 0.5 tracks the knob.
+func TestCrossShardRatioObserved(t *testing.T) {
+	reg := shardRegistry()
+	count := func(ratio float64) (cross, total int) {
+		cfg := DefaultConfig(8)
+		cfg.Shards = 4
+		cfg.CrossShardRatio = ratio
+		g := newGen(cfg)
+		for i := 0; i < 2000; i++ {
+			keys, _ := reg.DeclaredWrites(g.Next())
+			shards := map[int]bool{}
+			for _, k := range keys {
+				shards[ledger.KeyShard(k, 4)] = true
+			}
+			if len(shards) > 1 {
+				cross++
+			}
+			total++
+		}
+		return
+	}
+	if cross, _ := count(0); cross != 0 {
+		t.Fatalf("ratio 0: %d cross-shard pairs", cross)
+	}
+	cross, total := count(0.5)
+	if frac := float64(cross) / float64(total); frac < 0.4 || frac > 0.6 {
+		t.Fatalf("ratio 0.5: observed cross fraction %.3f", frac)
+	}
+}
+
+// Sharding off (Shards <= 1) must not consume extra randomness: the
+// transaction stream is byte-identical to the unsharded generator's.
+func TestUnshardedByteIdentical(t *testing.T) {
+	mk := func(shards int) []string {
+		cfg := DefaultConfig(8)
+		cfg.SettlementRatio = 0.2
+		cfg.Shards = shards
+		g := newGen(cfg)
+		var out []string
+		for i := 0; i < 500; i++ {
+			tx := g.Next()
+			out = append(out, tx.Fn+"|"+string(tx.Args[0]))
+		}
+		return out
+	}
+	base, zero, one := mk(0), mk(0), mk(1)
+	for i := range base {
+		if base[i] != zero[i] || base[i] != one[i] {
+			t.Fatalf("draw %d diverged: %q / %q / %q", i, base[i], zero[i], one[i])
+		}
+	}
+}

@@ -48,6 +48,16 @@ type Config struct {
 	// multi-step settlement flow (open → settle/cancel) instead of a
 	// SmallBank transfer.
 	SettlementRatio float64
+	// Shards, when > 1, makes pair selection shard-aware (the ledger.KeyShard
+	// keyspace partitioning): both accounts of a transfer land on the same
+	// shard, except with probability CrossShardRatio the pair deliberately
+	// straddles two shards (the 2PC path). Settlement flows stay shard-local —
+	// the flow id is advanced until its escrow key shards with the source
+	// account. Zero or one keeps the pair draw byte-identical to the
+	// unsharded generator (no extra randomness is consumed).
+	Shards int
+	// CrossShardRatio is the probability a transfer crosses shards.
+	CrossShardRatio float64
 	// InitialBalance seeds every account.
 	InitialBalance int64
 	// Padding sizes transactions (~1 KB default).
@@ -318,9 +328,29 @@ func (g *Generator) pickAccount() int {
 // fall back to a uniform draw, silently under-applying contention to the
 // destination on every collision.
 func (g *Generator) pickPair() (src, dst int) {
+	if g.cfg.Shards > 1 {
+		return g.pickPairSharded(g.rng.Float64() < g.cfg.CrossShardRatio)
+	}
 	src = g.pickAccount()
 	dst = g.pickAccount()
 	for dst == src || (g.cfg.NumOrgs > 1 && dst%g.cfg.NumOrgs == src%g.cfg.NumOrgs) {
+		dst = g.pickAccount()
+	}
+	return src, dst
+}
+
+// pickPairSharded draws a pair whose ledger.IndexShard relation is exactly
+// cross: same shard for the ordinary single-channel pipeline, different
+// shards for the 2PC path. Every redraw still goes through pickAccount, so
+// the contention and skew knobs keep applying to the destination.
+func (g *Generator) pickPairSharded(cross bool) (src, dst int) {
+	n := g.cfg.Shards
+	src = g.pickAccount()
+	srcShard := ledger.IndexShard(src, n)
+	dst = g.pickAccount()
+	for dst == src ||
+		(g.cfg.NumOrgs > 1 && dst%g.cfg.NumOrgs == src%g.cfg.NumOrgs) ||
+		(ledger.IndexShard(dst, n) == srcShard) == cross {
 		dst = g.pickAccount()
 	}
 	return src, dst
@@ -398,8 +428,22 @@ func (g *Generator) settlementStep(tx *types.Transaction) {
 		tx.Orgs = orgsPair(srcOrg, dstOrg)
 		return
 	}
-	src, dst := g.pickPair()
+	var src, dst int
+	if g.cfg.Shards > 1 {
+		src, dst = g.pickPairSharded(false)
+	} else {
+		src, dst = g.pickPair()
+	}
 	g.flowSeq++
+	if n := g.cfg.Shards; n > 1 {
+		// Keep the flow single-shard: its escrow key ("stl:esc:flow-<seq>")
+		// must shard with the source account's keys, so advance the flow
+		// sequence until ledger routes it there.
+		want := ledger.IndexShard(src, n)
+		for ledger.IndexShard(int(g.flowSeq), n) != want {
+			g.flowSeq++
+		}
+	}
 	id := "flow-" + strconv.FormatUint(g.flowSeq, 10)
 	srcName, srcOrg := g.account(src)
 	dstName, dstOrg := g.account(dst)
